@@ -1,0 +1,125 @@
+// Future-work study (paper Section 7, first item): 2D reconfiguration.
+// "Especially for 2D reconfiguration, task placement strategy has a large
+// effect on FPGA fragmentation, and we cannot assume that a task can fit on
+// the FPGA as long as there is enough free area."
+//
+// This bench quantifies that: for 2D tasksets on a 10x10-cell device it
+// compares, per cell-utilization bin,
+//   * the 1D unrestricted-migration relaxation (area-only admission — the
+//     paper's 1D model applied to w·h cell totals): an upper bound,
+//   * 2D EDF-NF with bottom-left and contact-perimeter placement,
+//   * 2D EDF-FkF with bottom-left placement,
+// plus fragmentation telemetry (area-fits-but-no-rectangle events).
+
+#include <atomic>
+#include <cstdio>
+
+#include "area2d/gen2d.hpp"
+#include "area2d/sim2d.hpp"
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "gen/rng.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace reconf;
+  using area2d::Scheduler2D;
+  using area2d::Strategy2D;
+
+  const area2d::Device2D dev{10, 10};
+  const int samples = benchx::samples_per_bin();
+  const int bins = 12;
+  const double us_min = 10.0;
+  const double us_max = 95.0;
+
+  std::printf("=== 2D reconfiguration: placement vs the 1D relaxation ===\n");
+  std::printf("device 10x10 cells, %d tasks, rectangles up to 6x6; "
+              "samples/bin=%d\n\n", 8, samples);
+  std::printf("%-8s %-6s | %-9s %-9s %-9s %-9s | %-10s %-8s\n", "U_S", "n",
+              "1D-relax", "NF-BL", "NF-CP", "FkF-BL", "frag-ev/run",
+              "max-frag");
+
+  for (int bin = 0; bin < bins; ++bin) {
+    const double target =
+        us_min + (us_max - us_min) * (bin + 0.5) / bins;
+
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<std::uint64_t> relax_ok{0};
+    std::atomic<std::uint64_t> nf_bl_ok{0};
+    std::atomic<std::uint64_t> nf_cp_ok{0};
+    std::atomic<std::uint64_t> fkf_bl_ok{0};
+    std::atomic<std::uint64_t> frag_events{0};
+    std::atomic<std::uint64_t> max_frag_milli{0};
+
+    parallel_for(
+        static_cast<std::size_t>(samples),
+        [&](std::size_t i) {
+          area2d::GenRequest2D req;
+          req.profile.num_tasks = 8;
+          req.profile.side_max = 6;
+          req.target_system_util_cells = target;
+          req.seed = gen::derive_seed(0x2D2D + static_cast<std::uint64_t>(bin),
+                                      i);
+          const auto ts = area2d::generate2d_with_retries(req);
+          if (!ts) return;
+          n.fetch_add(1, std::memory_order_relaxed);
+
+          // 1D relaxation: simulate with unrestricted migration.
+          sim::SimConfig relax_cfg = benchx::figure_sim_config();
+          const bool relax = sim::simulate(ts->to_1d_relaxation(),
+                                           area2d::to_1d_relaxation(dev),
+                                           relax_cfg)
+                                 .schedulable;
+          if (relax) relax_ok.fetch_add(1, std::memory_order_relaxed);
+
+          area2d::Sim2DConfig cfg;
+          cfg.horizon_periods = benchx::horizon_periods();
+
+          cfg.scheduler = Scheduler2D::kEdfNf;
+          cfg.strategy = Strategy2D::kBottomLeft;
+          const auto nf_bl = area2d::simulate2d(*ts, dev, cfg);
+          if (nf_bl.schedulable)
+            nf_bl_ok.fetch_add(1, std::memory_order_relaxed);
+          frag_events.fetch_add(nf_bl.fragmentation_rejections,
+                                std::memory_order_relaxed);
+          const auto frag_milli =
+              static_cast<std::uint64_t>(nf_bl.max_fragmentation * 1000.0);
+          std::uint64_t seen = max_frag_milli.load(std::memory_order_relaxed);
+          while (frag_milli > seen &&
+                 !max_frag_milli.compare_exchange_weak(seen, frag_milli)) {
+          }
+
+          cfg.strategy = Strategy2D::kContactPerimeter;
+          if (area2d::simulate2d(*ts, dev, cfg).schedulable) {
+            nf_cp_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+
+          cfg.scheduler = Scheduler2D::kEdfFkF;
+          cfg.strategy = Strategy2D::kBottomLeft;
+          if (area2d::simulate2d(*ts, dev, cfg).schedulable) {
+            fkf_bl_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        benchx::threads());
+
+    const double total = static_cast<double>(n.load());
+    const auto ratio = [total](const std::atomic<std::uint64_t>& v) {
+      return total == 0 ? 0.0 : static_cast<double>(v.load()) / total;
+    };
+    std::printf("%-8.1f %-6llu | %9.3f %9.3f %9.3f %9.3f | %10.1f %8.3f\n",
+                target, static_cast<unsigned long long>(n.load()),
+                ratio(relax_ok), ratio(nf_bl_ok), ratio(nf_cp_ok),
+                ratio(fkf_bl_ok),
+                total == 0 ? 0.0
+                           : static_cast<double>(frag_events.load()) / total,
+                static_cast<double>(max_frag_milli.load()) / 1000.0);
+  }
+
+  std::printf(
+      "\nreading: the 1D-relaxation column upper-bounds every placement "
+      "strategy; the gap to NF-BL/NF-CP is the pure fragmentation cost the "
+      "paper warns about, and FkF additionally pays its head-of-queue "
+      "blocking. Contact-perimeter placement keeps free space more compact "
+      "than bottom-left at high load.\n");
+  return 0;
+}

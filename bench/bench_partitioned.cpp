@@ -1,0 +1,51 @@
+// Contrast baseline (paper Section 1, citing Danne & Platzner RAW'06):
+// partitioned scheduling reduces FPGA scheduling to task allocation plus
+// uniprocessor EDF per partition. This bench compares partitioned
+// feasibility (three allocation heuristics) against the global bounds and
+// the global-EDF simulation across the figure workloads.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "partition/partitioned.hpp"
+
+int main() {
+  using namespace reconf;
+  using partition::AllocHeuristic;
+  using partition::PartitionConfig;
+
+  std::printf("=== partitioned EDF (Danne RAW'06 baseline) vs global ===\n\n");
+
+  for (const int n : {4, 10}) {
+    exp::SweepConfig cfg =
+        benchx::figure_config(gen::GenProfile::unconstrained(n), 5.0, 100.0);
+    cfg.series.clear();
+    cfg.series.push_back(exp::any_test_series());
+
+    for (const auto h : {AllocHeuristic::kFirstFit, AllocHeuristic::kBestFit,
+                         AllocHeuristic::kWorstFit}) {
+      PartitionConfig pc;
+      pc.heuristic = h;
+      cfg.series.push_back(
+          {std::string("PART-") + partition::to_string(h),
+           [pc](const TaskSet& ts, Device dev) {
+             return partition::partitioned_schedulable(ts, dev, pc);
+           }});
+    }
+    cfg.series.push_back(exp::sim_series(sim::SchedulerKind::kEdfNf,
+                                         benchx::figure_sim_config()));
+
+    const auto result = exp::run_sweep(cfg);
+    std::printf("--- %d tasks, unconstrained ---\n", n);
+    std::fputs(exp::format_table(result).c_str(), stdout);
+    std::fputs("\n", stdout);
+    exp::write_csv_file(result, "partitioned_n" + std::to_string(n) + ".csv");
+  }
+
+  std::printf(
+      "reading: partitioning wastes width (each partition is sized for its "
+      "widest task and serializes execution), but its per-partition test is "
+      "exact — so neither approach dominates: partitioned wins on "
+      "few-wide-task sets, the global bounds win when sharing pays.\n");
+  return 0;
+}

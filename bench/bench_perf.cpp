@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark): evaluation cost of the three bound
+// tests as a function of taskset size N — empirically confirming the
+// complexity the paper states for GN2 (O(N^3) over the lambda candidates) —
+// plus simulator throughput, taskset generation and exact-arithmetic cost.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/composite.hpp"
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "gen/generator.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace reconf;
+
+TaskSet make_taskset(int n, std::uint64_t seed, double us_frac = 0.3) {
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(n);
+  req.target_system_util = us_frac * 100.0;
+  req.seed = seed;
+  const auto ts = gen::generate_with_retries(req);
+  RECONF_ASSERT(ts.has_value());
+  return *ts;
+}
+
+void BM_DpTest(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 11);
+  const Device dev{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::dp_test(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpTest)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Gn1Test(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 22);
+  const Device dev{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::gn1_test(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gn1Test)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Gn2Test(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 33);
+  const Device dev{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::gn2_test(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gn2Test)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Gn2TestExact(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 44);
+  const Device dev{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::gn2_test_exact(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_Gn2TestExact)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_CompositeTest(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
+  const Device dev{100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::composite_test(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_CompositeTest)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_SimulateNf(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 66, 0.5);
+  const Device dev{100};
+  sim::SimConfig cfg;
+  cfg.horizon_periods = 50;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const auto r = sim::simulate(ts, dev, cfg);
+    jobs += r.jobs_released;
+    benchmark::DoNotOptimize(r.schedulable);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateNf)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_SimulateFkF(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 77, 0.5);
+  const Device dev{100};
+  sim::SimConfig cfg;
+  cfg.scheduler = sim::SchedulerKind::kEdfFkF;
+  cfg.horizon_periods = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(ts, dev, cfg).schedulable);
+  }
+}
+BENCHMARK(BM_SimulateFkF)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_SimulatePlacementConstrained(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 88, 0.5);
+  const Device dev{100};
+  sim::SimConfig cfg;
+  cfg.placement = sim::PlacementMode::kContiguousNoMigration;
+  cfg.horizon_periods = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(ts, dev, cfg).schedulable);
+  }
+}
+BENCHMARK(BM_SimulatePlacementConstrained)->Arg(10);
+
+void BM_Generate(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    gen::GenRequest req;
+    req.profile = gen::GenProfile::unconstrained(10);
+    req.target_system_util = 40.0;
+    req.seed = ++seed;
+    benchmark::DoNotOptimize(gen::generate_with_retries(req).has_value());
+  }
+}
+BENCHMARK(BM_Generate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

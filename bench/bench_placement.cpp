@@ -1,0 +1,70 @@
+// Future-work study (paper Section 7): what does the unrestricted-migration
+// assumption hide? Replaces free defragmentation with contiguous placement
+// (running jobs never move; resuming needs a fresh contiguous gap chosen by
+// first/best/worst-fit) and measures the schedulability loss plus observed
+// fragmentation rejections — scheduling points where a job fit by area but
+// not contiguously.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace reconf;
+  using placement::Strategy;
+
+  std::printf("=== placement study: migration vs contiguous no-migration ===\n\n");
+
+  for (const int n : {4, 10}) {
+    exp::SweepConfig cfg =
+        benchx::figure_config(gen::GenProfile::unconstrained(n), 20.0, 100.0);
+    cfg.series.clear();
+
+    sim::SimConfig base = benchx::figure_sim_config();
+    cfg.series.push_back(exp::sim_series(sim::SchedulerKind::kEdfNf, base));
+    cfg.series.back().name = "NF-migrate";
+
+    for (const auto strategy :
+         {Strategy::kFirstFit, Strategy::kBestFit, Strategy::kWorstFit}) {
+      sim::SimConfig placed = base;
+      placed.placement = sim::PlacementMode::kContiguousNoMigration;
+      placed.strategy = strategy;
+      cfg.series.push_back(
+          exp::sim_series(sim::SchedulerKind::kEdfNf, placed));
+      cfg.series.back().name =
+          std::string("NF-") + placement::to_string(strategy);
+    }
+
+    const auto result = exp::run_sweep(cfg);
+    std::printf("--- %d tasks, unconstrained ---\n", n);
+    std::fputs(exp::format_table(result).c_str(), stdout);
+    std::fputs(exp::ascii_chart(result).c_str(), stdout);
+    std::fputs("\n", stdout);
+    exp::write_csv_file(result, "placement_n" + std::to_string(n) + ".csv");
+  }
+
+  // Fragmentation telemetry on one overloaded run.
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(10);
+  req.target_system_util = 80.0;
+  req.seed = 0xF7A6;
+  if (const auto ts = gen::generate_with_retries(req)) {
+    sim::SimConfig cfg = benchx::figure_sim_config();
+    cfg.placement = sim::PlacementMode::kContiguousNoMigration;
+    cfg.stop_on_first_miss = false;
+    const auto run = sim::simulate(*ts, Device{100}, cfg);
+    std::printf("fragmentation telemetry (U_S=80, first-fit): %llu "
+                "area-fits-but-no-gap events over %llu dispatches, %llu "
+                "relocations\n",
+                static_cast<unsigned long long>(run.fragmentation_rejections),
+                static_cast<unsigned long long>(run.dispatches),
+                static_cast<unsigned long long>(run.relocations));
+  }
+
+  std::printf("\nreading: contiguity can only remove schedules — the "
+              "migration curve upper-bounds every fit strategy; the paper's "
+              "bounds remain sound for placement-constrained devices only "
+              "where they already accounted for blocking.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// 2D reconfiguration walk-through (paper Section 7 future work): a mosaic
+// of rectangular accelerator tasks on a 10x10-cell device. Shows rectangle
+// placement, the fragmentation effect the paper warns about ("we cannot
+// assume that a task can fit on the FPGA as long as there is enough free
+// area"), strategy comparison, and the 1D unrestricted-migration relaxation
+// as the analysis-side upper bound.
+//
+//   $ ./mosaic_2d
+
+#include <cstdio>
+
+#include "reconf/reconf.hpp"
+
+int main() {
+  using namespace reconf;
+  using namespace reconf::area2d;
+
+  const Device2D fabric{10, 10};
+  const TaskSet2D ts({
+      make_task2d(2.5, 8, 8, 6, 6, "dct"),      // large square block
+      make_task2d(2.0, 8, 8, 6, 6, "motion"),   // same shape, collides
+      make_task2d(5.5, 10, 10, 3, 3, "crc"),    // small, deadline-tight
+      make_task2d(1.5, 6, 6, 4, 2, "dma"),      // shallow strip
+      make_task2d(2.0, 12, 12, 2, 8, "uart"),   // tall strip
+  });
+
+  std::printf("2D taskset on a %dx%d fabric (cells = %lld):\n", fabric.width,
+              fabric.height, static_cast<long long>(fabric.cells()));
+  std::printf("%-8s %6s %6s %6s %8s %10s\n", "task", "C", "T", "wxh",
+              "cells", "us(cells)");
+  for (const Task2D& t : ts) {
+    std::printf("%-8s %6.2f %6.2f %3dx%-3d %7lld %10.2f\n", t.name.c_str(),
+                units_from_ticks(t.wcet), units_from_ticks(t.period),
+                t.width, t.height, static_cast<long long>(t.cells()),
+                t.system_utilization());
+  }
+  std::printf("U_T = %.3f, U_S(cells) = %.2f of %lld\n\n",
+              ts.time_utilization(), ts.system_utilization_cells(),
+              static_cast<long long>(fabric.cells()));
+
+  // Fragmentation demo on the raw grid.
+  GridMap map(fabric);
+  map.allocate(Rect{0, 0, 6, 6});
+  std::printf("with 'dct' placed at (0,0): free cells = %lld; does a 6x6 "
+              "rectangle fit anywhere? %s (fits by area: %s)\n",
+              static_cast<long long>(map.free_cells()),
+              map.fits_anywhere(6, 6) ? "yes" : "no",
+              map.fits_by_area(36) ? "yes" : "no");
+  std::printf("fragmentation index: %.3f\n\n", map.fragmentation());
+
+  // Simulate the mosaic under both schedulers and both strategies.
+  std::printf("%-22s %-12s %-10s %-12s %-10s\n", "configuration", "verdict",
+              "misses", "frag-events", "occupancy");
+  for (const auto scheduler : {Scheduler2D::kEdfNf, Scheduler2D::kEdfFkF}) {
+    for (const auto strategy :
+         {Strategy2D::kBottomLeft, Strategy2D::kContactPerimeter}) {
+      Sim2DConfig cfg;
+      cfg.scheduler = scheduler;
+      cfg.strategy = strategy;
+      cfg.stop_on_first_miss = false;
+      cfg.horizon_periods = 60;
+      const auto r = simulate2d(ts, fabric, cfg);
+      std::printf("%-10s %-11s %-12s %-10llu %-12llu %8.1f%%\n",
+                  to_string(scheduler), to_string(strategy),
+                  r.schedulable ? "meets all" : "MISSES",
+                  static_cast<unsigned long long>(r.deadline_misses),
+                  static_cast<unsigned long long>(r.fragmentation_rejections),
+                  100.0 * r.average_occupancy(fabric));
+    }
+  }
+
+  // The paper's 1D model as a relaxation: areas become w·h on a 100-column
+  // device; its bounds certify the relaxation, and its simulation
+  // upper-bounds every 2D strategy above.
+  const TaskSet flat = ts.to_1d_relaxation();
+  const Device flat_dev = to_1d_relaxation(fabric);
+  const auto any = analysis::composite_test(flat, flat_dev);
+  const auto flat_sim = sim::simulate(flat, flat_dev);
+  std::printf("\n1D relaxation (area = w*h, A(H) = %d): bounds say %s; "
+              "simulation %s\n",
+              flat_dev.width,
+              any.accepted() ? ("SCHEDULABLE via " + any.accepted_by()).c_str()
+                             : "inconclusive",
+              flat_sim.schedulable ? "meets all deadlines" : "misses");
+  std::printf("the gap between the relaxation and the 2D runs above is the "
+              "fragmentation cost of real rectangle placement.\n");
+  return 0;
+}

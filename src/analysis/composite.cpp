@@ -1,0 +1,37 @@
+#include "analysis/composite.hpp"
+
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+
+namespace reconf::analysis {
+
+std::string CompositeReport::accepted_by() const {
+  for (const TestReport& r : sub_reports) {
+    if (r.accepted()) return r.test_name;
+  }
+  return {};
+}
+
+CompositeReport composite_test(const TaskSet& ts, Device device,
+                               const CompositeOptions& options, bool for_fkf) {
+  CompositeReport out;
+  if (options.use_dp) {
+    out.sub_reports.push_back(dp_test(ts, device, options.dp));
+  }
+  if (options.use_gn1 && !for_fkf) {
+    out.sub_reports.push_back(gn1_test(ts, device, options.gn1));
+  }
+  if (options.use_gn2) {
+    out.sub_reports.push_back(gn2_test(ts, device, options.gn2));
+  }
+  for (const TestReport& r : out.sub_reports) {
+    if (r.accepted()) {
+      out.verdict = Verdict::kSchedulable;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace reconf::analysis

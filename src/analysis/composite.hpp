@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/options.hpp"
+#include "analysis/report.hpp"
+#include "common/types.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::analysis {
+
+/// Result of the paper's Section 6 recommendation: "different schedulability
+/// bounds should be applied together, i.e., determine that a taskset is
+/// unschedulable only if all tests fail."
+struct CompositeReport {
+  Verdict verdict = Verdict::kInconclusive;
+  std::vector<TestReport> sub_reports;
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return verdict == Verdict::kSchedulable;
+  }
+  /// Name of the first accepting test, or empty.
+  [[nodiscard]] std::string accepted_by() const;
+};
+
+/// Runs DP, GN1 and GN2 (as enabled) and accepts if any accepts.
+///
+/// Scheduler caveat encoded here: GN1 is only sound for EDF-NF; DP and GN2
+/// are sound for EDF-FkF and, by Danne's dominance result, for EDF-NF.
+/// Composite with all three is therefore an EDF-NF test; pass
+/// `for_fkf = true` to restrict to the EDF-FkF-sound subset (DP, GN2).
+[[nodiscard]] CompositeReport composite_test(const TaskSet& ts, Device device,
+                                             const CompositeOptions& options = {},
+                                             bool for_fkf = false);
+
+}  // namespace reconf::analysis

@@ -1,0 +1,18 @@
+#include "analysis/dp.hpp"
+
+#include "analysis/detail/evaluators.hpp"
+#include "math/numeric_policy.hpp"
+
+namespace reconf::analysis {
+
+TestReport dp_test(const TaskSet& ts, Device device,
+                   const DpOptions& options) {
+  return detail::dp_eval<math::DoublePolicy>(ts, device, options);
+}
+
+TestReport dp_test_exact(const TaskSet& ts, Device device,
+                         const DpOptions& options) {
+  return detail::dp_eval<math::ExactPolicy>(ts, device, options);
+}
+
+}  // namespace reconf::analysis

@@ -1,0 +1,18 @@
+#include "analysis/gn1.hpp"
+
+#include "analysis/detail/evaluators.hpp"
+#include "math/numeric_policy.hpp"
+
+namespace reconf::analysis {
+
+TestReport gn1_test(const TaskSet& ts, Device device,
+                    const Gn1Options& options) {
+  return detail::gn1_eval<math::DoublePolicy>(ts, device, options);
+}
+
+TestReport gn1_test_exact(const TaskSet& ts, Device device,
+                          const Gn1Options& options) {
+  return detail::gn1_eval<math::ExactPolicy>(ts, device, options);
+}
+
+}  // namespace reconf::analysis

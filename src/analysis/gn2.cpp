@@ -1,0 +1,18 @@
+#include "analysis/gn2.hpp"
+
+#include "analysis/detail/evaluators.hpp"
+#include "math/numeric_policy.hpp"
+
+namespace reconf::analysis {
+
+TestReport gn2_test(const TaskSet& ts, Device device,
+                    const Gn2Options& options) {
+  return detail::gn2_eval<math::DoublePolicy>(ts, device, options);
+}
+
+TestReport gn2_test_exact(const TaskSet& ts, Device device,
+                          const Gn2Options& options) {
+  return detail::gn2_eval<math::ExactPolicy>(ts, device, options);
+}
+
+}  // namespace reconf::analysis

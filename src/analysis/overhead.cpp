@@ -1,0 +1,14 @@
+#include "analysis/overhead.hpp"
+
+#include <vector>
+
+namespace reconf::analysis {
+
+TaskSet inflate_for_overhead(const TaskSet& ts, const OverheadModel& model) {
+  std::vector<Ticks> extra;
+  extra.reserve(ts.size());
+  for (const Task& t : ts) extra.push_back(model.charge(t));
+  return ts.with_wcet_increased(extra);
+}
+
+}  // namespace reconf::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reconf::analysis {
+
+/// All tests in this library are *sufficient* conditions: passing proves the
+/// taskset schedulable under the stated scheduler; failing proves nothing.
+enum class Verdict {
+  kSchedulable,
+  kInconclusive,
+};
+
+/// Per-task (per-k) evaluation record for explainability: the dominant term
+/// comparison the theorem makes for task τ_k, and — for GN2 — which λ and
+/// which condition (1 or 2) succeeded.
+struct TaskDiagnostic {
+  std::size_t task_index = 0;
+  bool pass = false;
+  double lhs = std::numeric_limits<double>::quiet_NaN();
+  double rhs = std::numeric_limits<double>::quiet_NaN();
+  double lambda = std::numeric_limits<double>::quiet_NaN();
+  int condition = 0;  ///< GN2: 1 or 2 for the satisfied condition; else 0.
+};
+
+struct TestReport {
+  std::string test_name;
+  Verdict verdict = Verdict::kInconclusive;
+  std::vector<TaskDiagnostic> per_task;
+  std::optional<std::size_t> first_failing_task;
+  std::string note;  ///< set when rejected before evaluation (feasibility…)
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return verdict == Verdict::kSchedulable;
+  }
+};
+
+}  // namespace reconf::analysis

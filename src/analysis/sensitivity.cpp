@@ -1,0 +1,75 @@
+#include "analysis/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace reconf::analysis {
+
+TaskSet scale_wcets(const TaskSet& ts, int permille) {
+  RECONF_EXPECTS(permille >= 0);
+  std::vector<Task> scaled(ts.begin(), ts.end());
+  for (Task& t : scaled) {
+    const double c =
+        static_cast<double>(t.wcet) * static_cast<double>(permille) / 1000.0;
+    t.wcet = std::clamp<Ticks>(static_cast<Ticks>(std::llround(c)), 1,
+                               std::min(t.deadline, t.period));
+  }
+  return TaskSet{std::move(scaled)};
+}
+
+std::optional<int> critical_wcet_scale_permille(const TaskSet& ts,
+                                                Device device,
+                                                const AcceptPredicate& accept,
+                                                int max_permille) {
+  RECONF_EXPECTS(static_cast<bool>(accept));
+  RECONF_EXPECTS(max_permille >= 1);
+  if (ts.empty()) return max_permille;
+
+  // The floor probe: every WCET at its minimum (permille 0 clamps to 1
+  // tick). If even that fails, no scaling is acceptable.
+  if (!accept(scale_wcets(ts, 0), device)) return std::nullopt;
+
+  // Bisect the largest passing permille in [0, max_permille]. With a
+  // monotone predicate this is exact; with a near-monotone one it returns
+  // a passing point adjacent to a failing one.
+  int lo = 0;  // known passing
+  int hi = max_permille + 1;  // treated as failing sentinel
+  if (accept(scale_wcets(ts, max_permille), device)) return max_permille;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (accept(scale_wcets(ts, mid), device)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<Area> min_feasible_width(const TaskSet& ts,
+                                       const AcceptPredicate& accept,
+                                       Area max_width) {
+  RECONF_EXPECTS(static_cast<bool>(accept));
+  if (ts.empty()) return 1;
+  Area lo = std::max<Area>(1, ts.max_area());  // no device below A_max works
+  if (lo > max_width) return std::nullopt;
+  if (!accept(ts, Device{max_width})) return std::nullopt;
+  if (accept(ts, Device{lo})) return lo;
+
+  Area hi = max_width;  // known accepting
+  // Invariant: lo rejecting, hi accepting.
+  while (hi - lo > 1) {
+    const Area mid = lo + (hi - lo) / 2;
+    if (accept(ts, Device{mid})) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace reconf::analysis

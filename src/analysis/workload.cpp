@@ -1,0 +1,101 @@
+#include "analysis/workload.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace reconf::analysis {
+
+namespace {
+
+constexpr std::int64_t floor_div(std::int64_t num, std::int64_t den) {
+  std::int64_t q = num / den;
+  if (num % den != 0 && num < 0) --q;
+  return q;
+}
+
+/// Overlap of [a1, a2) with [b1, b2).
+constexpr Ticks overlap(Ticks a1, Ticks a2, Ticks b1, Ticks b2) {
+  const Ticks lo = std::max(a1, b1);
+  const Ticks hi = std::min(a2, b2);
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace
+
+std::int64_t lemma4_job_count(const Task& task_i, Ticks window) {
+  RECONF_EXPECTS(task_i.well_formed());
+  RECONF_EXPECTS(window > 0);
+  return std::max<std::int64_t>(
+      0, floor_div(window - task_i.deadline, task_i.period) + 1);
+}
+
+Ticks lemma4_workload_bound(const Task& task_i, Ticks window) {
+  const std::int64_t ni = lemma4_job_count(task_i, window);
+  const Ticks carry = std::min(
+      task_i.wcet, std::max<Ticks>(window - ni * task_i.period, 0));
+  return ni * task_i.wcet + carry;
+}
+
+Ticks measured_time_work(const sim::Trace& trace, std::size_t task_index,
+                         Ticks begin, Ticks end) {
+  RECONF_EXPECTS(begin <= end);
+  Ticks total = 0;
+  for (const sim::TraceSegment& s : trace.segments()) {
+    if (s.task_index != task_index || s.reconfiguring) continue;
+    total += overlap(s.begin, s.end, begin, end);
+  }
+  return total;
+}
+
+std::int64_t measured_system_work(const sim::Trace& trace, const TaskSet& ts,
+                                  std::size_t task_index, Ticks begin,
+                                  Ticks end) {
+  RECONF_EXPECTS(task_index < ts.size());
+  return static_cast<std::int64_t>(
+             measured_time_work(trace, task_index, begin, end)) *
+         ts[task_index].area;
+}
+
+Ticks measured_interfering_work(const sim::Trace& trace, const TaskSet& ts,
+                                std::size_t task_index, Ticks begin,
+                                Ticks end) {
+  RECONF_EXPECTS(task_index < ts.size());
+  RECONF_EXPECTS(begin <= end);
+  const Task& ti = ts[task_index];
+  Ticks total = 0;
+  for (const sim::TraceSegment& s : trace.segments()) {
+    if (s.task_index != task_index || s.reconfiguring) continue;
+    const Ticks abs_deadline =
+        static_cast<Ticks>(s.sequence) * ti.period + ti.deadline;
+    if (abs_deadline > end) continue;
+    total += overlap(s.begin, s.end, begin, end);
+  }
+  return total;
+}
+
+std::vector<InterferenceSample> interference_profile(const sim::Trace& trace,
+                                                     const TaskSet& ts,
+                                                     std::size_t task_k,
+                                                     Ticks horizon) {
+  RECONF_EXPECTS(task_k < ts.size());
+  const Task& tk = ts[task_k];
+
+  std::vector<InterferenceSample> out;
+  for (Ticks release = 0, seq = 0; release + tk.deadline <= horizon;
+       release += tk.period, ++seq) {
+    InterferenceSample sample;
+    sample.job_sequence = static_cast<std::uint64_t>(seq);
+    sample.window_begin = release;
+    sample.window_end = release + tk.deadline;
+    sample.time_work_by_task.reserve(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      sample.time_work_by_task.push_back(measured_time_work(
+          trace, i, sample.window_begin, sample.window_end));
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace reconf::analysis

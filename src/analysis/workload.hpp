@@ -1,0 +1,75 @@
+#pragma once
+
+// The paper's Section 2 work quantities and the Lemma 4 workload bound,
+// exposed both as formulas and as trace measurements so the bound can be
+// validated empirically (tests/workload_test.cpp):
+//
+//   time work    W_i^T(a, b)  — executed time of τ_i in [a, b)
+//   system work  W_i^S(a, b)  — W_i^T · A_i
+//   W̄_i(D_k)                 — Lemma 4's upper bound on the time work an
+//                               interfering task τ_i can place in any window
+//                               of length D_k whose end aligns with one of
+//                               its deadlines:
+//                               N_i·C_i + min(C_i, max(D_k − N_i·T_i, 0)),
+//                               N_i = max(0, ⌊(D_k − D_i)/T_i⌋ + 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::analysis {
+
+/// Lemma 4's workload bound W̄_i for a window of length `window` (D_k in the
+/// theorem). Exact integer arithmetic.
+[[nodiscard]] Ticks lemma4_workload_bound(const Task& task_i, Ticks window);
+
+/// N_i — the number of jobs of τ_i fully contained in the worst-case
+/// deadline-aligned window of length `window` (clamped at 0).
+[[nodiscard]] std::int64_t lemma4_job_count(const Task& task_i, Ticks window);
+
+/// Executed time of task `task_index` inside [begin, end), measured from a
+/// simulation trace (reconfiguration stalls excluded, consistent with the
+/// paper's W^T definition).
+[[nodiscard]] Ticks measured_time_work(const sim::Trace& trace,
+                                       std::size_t task_index, Ticks begin,
+                                       Ticks end);
+
+/// System work A_i·W^T over the same window.
+[[nodiscard]] std::int64_t measured_system_work(const sim::Trace& trace,
+                                                const TaskSet& ts,
+                                                std::size_t task_index,
+                                                Ticks begin, Ticks end);
+
+/// EDF-relevant ("interfering") time work of τ_i in [begin, end): only
+/// execution belonging to jobs whose absolute deadline is at most `end`
+/// counts — under EDF a later-deadline job cannot preempt the job whose
+/// window this is, which is exactly the population Lemma 4's W̄ bounds.
+/// Assumes the synchronous-periodic release pattern (release of job j is
+/// j·T_i), the setting of the paper's simulations.
+[[nodiscard]] Ticks measured_interfering_work(const sim::Trace& trace,
+                                              const TaskSet& ts,
+                                              std::size_t task_index,
+                                              Ticks begin, Ticks end);
+
+/// One interference sample: how much of τ_k's scheduling window was consumed
+/// by each other task, per job of τ_k.
+struct InterferenceSample {
+  std::uint64_t job_sequence = 0;
+  Ticks window_begin = 0;  ///< release of the job
+  Ticks window_end = 0;    ///< absolute deadline
+  std::vector<Ticks> time_work_by_task;  ///< W_i^T over the window, per i
+};
+
+/// Extracts, for every job of τ_k in the trace, the per-task time work done
+/// inside that job's [release, deadline) window — the empirical counterpart
+/// of the interference contributions I_{i,k} that Lemma 3 bounds (the
+/// paper's Fig. 2 quantities). Jobs whose window extends past `horizon`
+/// are skipped.
+[[nodiscard]] std::vector<InterferenceSample> interference_profile(
+    const sim::Trace& trace, const TaskSet& ts, std::size_t task_k,
+    Ticks horizon);
+
+}  // namespace reconf::analysis

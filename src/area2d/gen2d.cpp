@@ -1,0 +1,120 @@
+#include "area2d/gen2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace reconf::area2d {
+
+namespace {
+
+Ticks wcet_cap(const Task2D& t) { return std::min(t.deadline, t.period); }
+
+double us_cells(const std::vector<Task2D>& tasks) {
+  double total = 0.0;
+  for (const Task2D& t : tasks) total += t.system_utilization();
+  return total;
+}
+
+bool retarget2d(std::vector<Task2D>& tasks, const GenProfile2D& p,
+                double target, double tolerance) {
+  for (int iter = 0; iter < 64; ++iter) {
+    const double us = us_cells(tasks);
+    if (std::abs(us - target) <= tolerance) return true;
+    const double factor = target / us;
+    bool moved = false;
+    for (Task2D& t : tasks) {
+      const Ticks lo = std::max<Ticks>(
+          1, static_cast<Ticks>(std::ceil(
+                 p.util_min * static_cast<double>(t.period) - 1e-9)));
+      const Ticks hi = std::max(
+          lo, std::min<Ticks>(wcet_cap(t),
+                              static_cast<Ticks>(std::floor(
+                                  p.util_max * static_cast<double>(t.period) +
+                                  1e-9))));
+      const Ticks next = std::clamp<Ticks>(
+          static_cast<Ticks>(
+              std::llround(static_cast<double>(t.wcet) * factor)),
+          lo, hi);
+      if (next != t.wcet) moved = true;
+      t.wcet = next;
+    }
+    if (!moved) break;
+  }
+  // Single-tick fine tune, smallest-step task first.
+  for (int step = 0; step < 4096; ++step) {
+    const double err = us_cells(tasks) - target;
+    if (std::abs(err) <= tolerance) return true;
+    Task2D* best = nullptr;
+    double best_fit = std::numeric_limits<double>::infinity();
+    for (Task2D& t : tasks) {
+      const double delta =
+          static_cast<double>(t.cells()) / static_cast<double>(t.period);
+      const bool can_move = err > 0 ? t.wcet > 1 : t.wcet < wcet_cap(t);
+      if (!can_move || delta > std::abs(err) + tolerance) continue;
+      const double fit = std::abs(delta - std::min(std::abs(err), delta));
+      if (fit < best_fit) {
+        best_fit = fit;
+        best = &t;
+      }
+    }
+    if (best == nullptr) return false;
+    best->wcet += err > 0 ? -1 : 1;
+  }
+  return std::abs(us_cells(tasks) - target) <= tolerance;
+}
+
+}  // namespace
+
+std::optional<TaskSet2D> generate2d(const GenRequest2D& request) {
+  const GenProfile2D& p = request.profile;
+  RECONF_EXPECTS(p.num_tasks > 0);
+  RECONF_EXPECTS(p.side_min >= 1 && p.side_min <= p.side_max);
+  RECONF_EXPECTS(p.period_min > 0 && p.period_min < p.period_max);
+  RECONF_EXPECTS(p.util_min >= 0 && p.util_min <= p.util_max &&
+                 p.util_max <= 1.0);
+
+  Xoshiro256ss rng(request.seed);
+  std::vector<Task2D> tasks;
+  tasks.reserve(static_cast<std::size_t>(p.num_tasks));
+  for (int i = 0; i < p.num_tasks; ++i) {
+    Task2D t;
+    t.period = std::max<Ticks>(
+        1, ticks_from_units(rng.uniform(p.period_min, p.period_max), p.scale));
+    t.deadline = t.period;
+    t.width = static_cast<Area>(rng.uniform_int(p.side_min, p.side_max));
+    t.height = static_cast<Area>(rng.uniform_int(p.side_min, p.side_max));
+    const double u = rng.uniform(p.util_min, p.util_max);
+    t.wcet = std::clamp<Ticks>(
+        static_cast<Ticks>(std::llround(u * static_cast<double>(t.period))),
+        1, wcet_cap(t));
+    t.name = "t" + std::to_string(i + 1);
+    tasks.push_back(std::move(t));
+  }
+
+  if (request.target_system_util_cells) {
+    if (!retarget2d(tasks, p, *request.target_system_util_cells,
+                    request.target_tolerance)) {
+      return std::nullopt;
+    }
+  }
+  return TaskSet2D{std::move(tasks)};
+}
+
+std::optional<TaskSet2D> generate2d_with_retries(const GenRequest2D& request,
+                                                 int max_attempts) {
+  RECONF_EXPECTS(max_attempts >= 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    GenRequest2D retry = request;
+    retry.seed =
+        derive_seed(request.seed, static_cast<std::uint64_t>(attempt));
+    if (auto ts = generate2d(retry)) return ts;
+  }
+  return std::nullopt;
+}
+
+}  // namespace reconf::area2d

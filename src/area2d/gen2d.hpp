@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "area2d/task2d.hpp"
+
+namespace reconf::area2d {
+
+/// Synthetic 2D taskset distribution: the 1D experiment setup with the
+/// area draw replaced by independent width/height draws (Section 7
+/// future-work exploration; no published parameters exist, choices are
+/// recorded in EXPERIMENTS.md).
+struct GenProfile2D {
+  int num_tasks = 10;
+  Area side_min = 1;   ///< per-dimension lower bound
+  Area side_max = 10;  ///< per-dimension upper bound (device is 10x10 by
+                       ///< default in bench_2d)
+  double period_min = 5.0;
+  double period_max = 20.0;
+  double util_min = 0.0;
+  double util_max = 1.0;
+  Ticks scale = kTicksPerUnit;
+};
+
+struct GenRequest2D {
+  GenProfile2D profile;
+  /// Target Σ (w·h)·C/T in cells; rescaled within [util_min, util_max].
+  std::optional<double> target_system_util_cells;
+  double target_tolerance = 0.5;
+  std::uint64_t seed = 0;
+};
+
+[[nodiscard]] std::optional<TaskSet2D> generate2d(const GenRequest2D& request);
+
+[[nodiscard]] std::optional<TaskSet2D> generate2d_with_retries(
+    const GenRequest2D& request, int max_attempts = 32);
+
+}  // namespace reconf::area2d

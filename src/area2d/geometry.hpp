@@ -1,0 +1,51 @@
+#pragma once
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace reconf::area2d {
+
+/// A 2D-reconfigurable device: a W×H grid of configurable cells (the
+/// paper's future-work model, Section 7). The 1D device is the degenerate
+/// case height = 1.
+struct Device2D {
+  Area width = 0;
+  Area height = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return width > 0 && height > 0;
+  }
+  [[nodiscard]] constexpr std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+};
+
+/// Axis-aligned cell rectangle [x, x+w) × [y, y+h).
+struct Rect {
+  Area x = 0;
+  Area y = 0;
+  Area w = 0;
+  Area h = 0;
+
+  [[nodiscard]] constexpr std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(w) * h;
+  }
+  [[nodiscard]] constexpr Area right() const noexcept { return x + w; }
+  [[nodiscard]] constexpr Area top() const noexcept { return y + h; }
+
+  [[nodiscard]] constexpr bool intersects(const Rect& o) const noexcept {
+    return x < o.right() && o.x < right() && y < o.top() && o.y < top();
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& o) const noexcept {
+    return x <= o.x && o.right() <= right() && y <= o.y && o.top() <= top();
+  }
+  [[nodiscard]] constexpr bool within(Device2D dev) const noexcept {
+    return x >= 0 && y >= 0 && w > 0 && h > 0 && right() <= dev.width &&
+           top() <= dev.height;
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) noexcept =
+      default;
+};
+
+}  // namespace reconf::area2d

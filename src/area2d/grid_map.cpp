@@ -1,0 +1,149 @@
+#include "area2d/grid_map.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace reconf::area2d {
+
+const char* to_string(Strategy2D s) noexcept {
+  switch (s) {
+    case Strategy2D::kBottomLeft:
+      return "bottom-left";
+    case Strategy2D::kContactPerimeter:
+      return "contact-perimeter";
+  }
+  return "?";
+}
+
+GridMap::GridMap(Device2D dev)
+    : dev_(dev),
+      free_cells_(dev.cells()),
+      occupied_(static_cast<std::size_t>(dev.cells()), 0) {
+  RECONF_EXPECTS(dev.valid());
+}
+
+bool GridMap::is_free(const Rect& r) const {
+  RECONF_EXPECTS(r.within(dev_));
+  return occupied_in(r) == 0;
+}
+
+void GridMap::allocate(const Rect& r) {
+  RECONF_EXPECTS(is_free(r));
+  for (Area y = r.y; y < r.top(); ++y) {
+    for (Area x = r.x; x < r.right(); ++x) occupied_[idx(x, y)] = 1;
+  }
+  free_cells_ -= r.cells();
+  integral_valid_ = false;
+  RECONF_ENSURES(free_cells_ >= 0);
+}
+
+void GridMap::release(const Rect& r) {
+  RECONF_EXPECTS(r.within(dev_));
+  for (Area y = r.y; y < r.top(); ++y) {
+    for (Area x = r.x; x < r.right(); ++x) {
+      RECONF_EXPECTS(occupied_[idx(x, y)] == 1);
+      occupied_[idx(x, y)] = 0;
+    }
+  }
+  free_cells_ += r.cells();
+  integral_valid_ = false;
+  RECONF_ENSURES(free_cells_ <= dev_.cells());
+}
+
+void GridMap::clear() {
+  std::fill(occupied_.begin(), occupied_.end(), std::uint8_t{0});
+  free_cells_ = dev_.cells();
+  integral_valid_ = false;
+}
+
+void GridMap::ensure_integral() const {
+  if (integral_valid_) return;
+  const std::size_t w1 = static_cast<std::size_t>(dev_.width) + 1;
+  const std::size_t h1 = static_cast<std::size_t>(dev_.height) + 1;
+  integral_.assign(w1 * h1, 0);
+  for (Area y = 0; y < dev_.height; ++y) {
+    std::int32_t row = 0;
+    for (Area x = 0; x < dev_.width; ++x) {
+      row += occupied_[idx(x, y)];
+      integral_[(static_cast<std::size_t>(y) + 1) * w1 +
+                static_cast<std::size_t>(x) + 1] =
+          integral_[static_cast<std::size_t>(y) * w1 +
+                    static_cast<std::size_t>(x) + 1] +
+          row;
+    }
+  }
+  integral_valid_ = true;
+}
+
+std::int64_t GridMap::occupied_in(const Rect& r) const {
+  ensure_integral();
+  const std::size_t w1 = static_cast<std::size_t>(dev_.width) + 1;
+  const auto at = [&](Area x, Area y) -> std::int64_t {
+    return integral_[static_cast<std::size_t>(y) * w1 +
+                     static_cast<std::size_t>(x)];
+  };
+  return at(r.right(), r.top()) - at(r.x, r.top()) - at(r.right(), r.y) +
+         at(r.x, r.y);
+}
+
+bool GridMap::fits_anywhere(Area w, Area h) const {
+  return find_position(w, h, Strategy2D::kBottomLeft).has_value();
+}
+
+std::int64_t GridMap::contact_score(Area x, Area y, Area w, Area h) const {
+  // Edges touching the device border count fully; edges adjacent to
+  // occupied cells count per occupied neighbor cell.
+  std::int64_t score = 0;
+  if (x == 0) score += h;
+  if (x + w == dev_.width) score += h;
+  if (y == 0) score += w;
+  if (y + h == dev_.height) score += w;
+  if (x > 0) score += occupied_in(Rect{static_cast<Area>(x - 1), y, 1, h});
+  if (x + w < dev_.width) score += occupied_in(Rect{static_cast<Area>(x + w), y, 1, h});
+  if (y > 0) score += occupied_in(Rect{x, static_cast<Area>(y - 1), w, 1});
+  if (y + h < dev_.height) score += occupied_in(Rect{x, static_cast<Area>(y + h), w, 1});
+  return score;
+}
+
+std::optional<Rect> GridMap::find_position(Area w, Area h,
+                                           Strategy2D strategy) const {
+  RECONF_EXPECTS(w > 0 && h > 0);
+  if (w > dev_.width || h > dev_.height) return std::nullopt;
+  ensure_integral();
+
+  std::optional<Rect> best;
+  std::int64_t best_score = -1;
+  for (Area y = 0; y + h <= dev_.height; ++y) {
+    for (Area x = 0; x + w <= dev_.width; ++x) {
+      const Rect cand{x, y, w, h};
+      if (occupied_in(cand) != 0) continue;
+      if (strategy == Strategy2D::kBottomLeft) return cand;
+      const std::int64_t score = contact_score(x, y, w, h);
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+  }
+  return best;
+}
+
+double GridMap::fragmentation() const {
+  if (free_cells_ == 0) return 0.0;
+  // Largest placeable square via binary search on side length.
+  Area lo = 0;
+  Area hi = std::min(dev_.width, dev_.height);
+  while (lo < hi) {
+    const Area mid = static_cast<Area>(lo + (hi - lo + 1) / 2);
+    if (fits_anywhere(mid, mid)) {
+      lo = mid;
+    } else {
+      hi = static_cast<Area>(mid - 1);
+    }
+  }
+  const double square = static_cast<double>(lo) * static_cast<double>(lo);
+  return 1.0 - std::min(1.0, square / static_cast<double>(free_cells_));
+}
+
+}  // namespace reconf::area2d

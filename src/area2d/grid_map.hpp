@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "area2d/geometry.hpp"
+
+namespace reconf::area2d {
+
+/// Placement heuristics for rectangular tasks (classic 2D bin-packing
+/// position rules; the paper's future work asks exactly how these interact
+/// with schedulability).
+enum class Strategy2D {
+  kBottomLeft,        ///< lowest, then leftmost feasible position
+  kContactPerimeter,  ///< position maximizing contact with occupied cells
+                      ///< and device borders (keeps free space compact)
+};
+
+[[nodiscard]] const char* to_string(Strategy2D s) noexcept;
+
+/// Occupancy grid of a 2D-reconfigurable device with O(1) rectangle-fit
+/// queries via a lazily rebuilt integral image (W·H ≤ ~10^4 for realistic
+/// devices, so rebuilds are cheap relative to dispatch rates).
+class GridMap {
+ public:
+  explicit GridMap(Device2D dev);
+
+  [[nodiscard]] Device2D device() const noexcept { return dev_; }
+  [[nodiscard]] std::int64_t free_cells() const noexcept {
+    return free_cells_;
+  }
+  [[nodiscard]] std::int64_t occupied_cells() const noexcept {
+    return dev_.cells() - free_cells_;
+  }
+
+  /// True if every cell of `r` is free. r must lie within the device.
+  [[nodiscard]] bool is_free(const Rect& r) const;
+
+  void allocate(const Rect& r);  ///< requires is_free(r)
+  void release(const Rect& r);   ///< requires every cell of r occupied
+  void clear();
+
+  /// Total-area criterion (the paper's unrestricted-migration relaxation).
+  [[nodiscard]] bool fits_by_area(std::int64_t cells) const noexcept {
+    return cells > 0 && cells <= free_cells_;
+  }
+
+  /// Is there any position for a w×h rectangle?
+  [[nodiscard]] bool fits_anywhere(Area w, Area h) const;
+
+  /// Chooses a position for a w×h rectangle per `strategy`; nullopt when no
+  /// position exists. Does not allocate.
+  [[nodiscard]] std::optional<Rect> find_position(Area w, Area h,
+                                                  Strategy2D strategy) const;
+
+  /// External fragmentation proxy in [0,1]: fraction of free cells not
+  /// coverable by the largest placeable square (1 − s²/free).
+  [[nodiscard]] double fragmentation() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(Area x, Area y) const noexcept {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(dev_.width) +
+           static_cast<std::size_t>(x);
+  }
+  void ensure_integral() const;
+  /// Occupied-cell count inside `r` using the integral image.
+  [[nodiscard]] std::int64_t occupied_in(const Rect& r) const;
+  /// Contact-perimeter score of placing w×h at (x, y).
+  [[nodiscard]] std::int64_t contact_score(Area x, Area y, Area w,
+                                           Area h) const;
+
+  Device2D dev_;
+  std::int64_t free_cells_;
+  std::vector<std::uint8_t> occupied_;
+  mutable std::vector<std::int32_t> integral_;  ///< (W+1)×(H+1) prefix sums
+  mutable bool integral_valid_ = false;
+};
+
+}  // namespace reconf::area2d

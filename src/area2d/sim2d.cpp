@@ -1,0 +1,238 @@
+#include "area2d/sim2d.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "math/gcd_lcm.hpp"
+
+namespace reconf::area2d {
+
+const char* to_string(Scheduler2D s) noexcept {
+  switch (s) {
+    case Scheduler2D::kEdfNf:
+      return "EDF-NF-2D";
+    case Scheduler2D::kEdfFkF:
+      return "EDF-FkF-2D";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Job2D {
+  std::size_t task_index = 0;
+  std::uint64_t sequence = 0;
+  Ticks release = 0;
+  Ticks abs_deadline = 0;
+  Ticks remaining = 0;
+  Ticks reconfig_remaining = 0;
+  bool placed = false;
+  Rect rect{};
+  bool running = false;
+  bool was_running = false;
+
+  [[nodiscard]] bool finished() const noexcept { return remaining == 0; }
+};
+
+bool edf2d_before(const Job2D& a, const Job2D& b) noexcept {
+  if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
+  if (a.release != b.release) return a.release < b.release;
+  if (a.task_index != b.task_index) return a.task_index < b.task_index;
+  return a.sequence < b.sequence;
+}
+
+Ticks horizon_for(const TaskSet2D& ts, const Sim2DConfig& config) {
+  if (config.horizon > 0) return config.horizon;
+  if (ts.empty()) return 1;
+  std::vector<std::int64_t> periods;
+  periods.reserve(ts.size());
+  for (const Task2D& t : ts) periods.push_back(t.period);
+  const auto hp = math::lcm_all(periods);
+  const Ticks cap =
+      static_cast<Ticks>(config.horizon_periods) * ts.max_period();
+  return std::max<Ticks>(1, hp ? std::min(*hp, cap) : cap);
+}
+
+class Engine2D {
+ public:
+  Engine2D(const TaskSet2D& ts, Device2D dev, const Sim2DConfig& config)
+      : ts_(ts), dev_(dev), config_(config), map_(dev) {
+    RECONF_EXPECTS(dev.valid());
+  }
+
+  Sim2DResult run() {
+    result_.horizon = horizon_for(ts_, config_);
+    if (ts_.empty()) return result_;
+
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      const Task2D& t = ts_[i];
+      if (t.width > dev_.width || t.height > dev_.height ||
+          t.wcet > t.deadline) {
+        result_.schedulable = false;
+        result_.deadline_misses = 1;
+        result_.first_miss = Miss2D{i, 0, t.deadline};
+        return result_;
+      }
+    }
+
+    next_release_.assign(ts_.size(), 0);
+    sequence_.assign(ts_.size(), 0);
+
+    Ticks now = 0;
+    const Ticks horizon = result_.horizon;
+    for (;;) {
+      if (detect_misses(now)) return result_;
+      if (now >= horizon) break;
+      release_jobs(now);
+      dispatch();
+
+      const Ticks next = next_event(now, horizon);
+      RECONF_ASSERT(next > now);
+      advance(now, next);
+      reap();
+      now = next;
+    }
+    return result_;
+  }
+
+ private:
+  bool detect_misses(Ticks now) {
+    for (std::size_t i = 0; i < active_.size();) {
+      Job2D& j = active_[i];
+      if (!j.finished() && j.abs_deadline <= now) {
+        ++result_.deadline_misses;
+        result_.schedulable = false;
+        if (!result_.first_miss) {
+          result_.first_miss = Miss2D{j.task_index, j.sequence, j.abs_deadline};
+        }
+        if (config_.stop_on_first_miss) return true;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  void release_jobs(Ticks now) {
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] != now) continue;
+      Job2D j;
+      j.task_index = i;
+      j.sequence = sequence_[i]++;
+      j.release = now;
+      j.abs_deadline = now + ts_[i].deadline;
+      j.remaining = ts_[i].wcet;
+      active_.push_back(j);
+      next_release_[i] += ts_[i].period;
+      ++result_.jobs_released;
+    }
+  }
+
+  void dispatch() {
+    ++result_.dispatches;
+    std::sort(active_.begin(), active_.end(), edf2d_before);
+
+    const bool fkf = config_.scheduler == Scheduler2D::kEdfFkF;
+    map_.clear();
+    bool stopped = false;
+    for (Job2D& j : active_) {
+      if (stopped) {
+        j.running = false;
+        continue;
+      }
+      const Task2D& t = ts_[j.task_index];
+      const bool keep = j.running && j.placed && map_.is_free(j.rect);
+      if (keep) {
+        map_.allocate(j.rect);
+        j.running = true;
+        continue;
+      }
+      if (const auto pos =
+              map_.find_position(t.width, t.height, config_.strategy)) {
+        map_.allocate(*pos);
+        j.rect = *pos;
+        j.placed = true;
+        j.running = true;
+        j.reconfig_remaining =
+            config_.reconfig_cost_per_cell * static_cast<Ticks>(t.cells());
+        ++result_.placements;
+        continue;
+      }
+      if (map_.fits_by_area(t.cells())) ++result_.fragmentation_rejections;
+      j.running = false;
+      if (fkf) stopped = true;  // First-k-Fit: unplaceable head blocks
+    }
+    for (Job2D& j : active_) {
+      if (!j.running) {
+        j.placed = false;
+        if (j.was_running && !j.finished()) ++result_.preemptions;
+      }
+    }
+    result_.max_fragmentation =
+        std::max(result_.max_fragmentation, map_.fragmentation());
+  }
+
+  [[nodiscard]] Ticks next_event(Ticks now, Ticks horizon) const {
+    Ticks next = horizon;
+    for (const Ticks r : next_release_) next = std::min(next, r);
+    for (const Job2D& j : active_) {
+      if (j.running) {
+        next = std::min(next, now + j.reconfig_remaining + j.remaining);
+      }
+      if (!j.finished() && j.abs_deadline > now) {
+        next = std::min(next, j.abs_deadline);
+      }
+    }
+    return next;
+  }
+
+  void advance(Ticks now, Ticks next) {
+    const Ticks dt = next - now;
+    std::int64_t occupied = 0;
+    for (Job2D& j : active_) {
+      if (!j.running) continue;
+      occupied += ts_[j.task_index].cells();
+      Ticks left = dt;
+      const Ticks stall = std::min(left, j.reconfig_remaining);
+      j.reconfig_remaining -= stall;
+      left -= stall;
+      j.remaining -= std::min(left, j.remaining);
+    }
+    result_.busy_cell_time += occupied * static_cast<std::int64_t>(dt);
+  }
+
+  void reap() {
+    for (std::size_t i = 0; i < active_.size();) {
+      Job2D& j = active_[i];
+      if (j.running && j.finished() && j.reconfig_remaining == 0) {
+        ++result_.jobs_completed;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      j.was_running = j.running;
+      ++i;
+    }
+  }
+
+  const TaskSet2D& ts_;
+  Device2D dev_;
+  Sim2DConfig config_;
+  GridMap map_;
+
+  std::vector<Ticks> next_release_;
+  std::vector<std::uint64_t> sequence_;
+  std::vector<Job2D> active_;
+  Sim2DResult result_;
+};
+
+}  // namespace
+
+Sim2DResult simulate2d(const TaskSet2D& ts, Device2D dev,
+                       const Sim2DConfig& config) {
+  Engine2D engine(ts, dev, config);
+  return engine.run();
+}
+
+}  // namespace reconf::area2d

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "area2d/grid_map.hpp"
+#include "area2d/task2d.hpp"
+#include "common/types.hpp"
+
+namespace reconf::area2d {
+
+/// Scheduling policy for the 2D simulator (paper Definitions 1-2 lifted to
+/// rectangles; placement is always contiguity-constrained in 2D — that is
+/// the entire point of the extension).
+enum class Scheduler2D {
+  kEdfNf,   ///< scan EDF order, place whatever has a feasible position
+  kEdfFkF,  ///< run the maximal EDF prefix that can be placed
+};
+
+[[nodiscard]] const char* to_string(Scheduler2D s) noexcept;
+
+struct Sim2DConfig {
+  Scheduler2D scheduler = Scheduler2D::kEdfNf;
+  Strategy2D strategy = Strategy2D::kBottomLeft;
+
+  Ticks horizon = 0;  ///< 0 → min(hyperperiod-free cap) as in the 1D engine
+  int horizon_periods = 40;
+  bool stop_on_first_miss = true;
+
+  /// Reconfiguration cost per cell (a placement of τ stalls ρ·w·h ticks).
+  Ticks reconfig_cost_per_cell = 0;
+};
+
+struct Miss2D {
+  std::size_t task_index = 0;
+  std::uint64_t sequence = 0;
+  Ticks deadline = 0;
+};
+
+struct Sim2DResult {
+  bool schedulable = true;
+  Ticks horizon = 0;
+  std::uint64_t jobs_released = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t placements = 0;
+  std::uint64_t preemptions = 0;
+  /// Scheduling decisions where a job fit by total free cells but had no
+  /// feasible rectangle — 2D fragmentation in action.
+  std::uint64_t fragmentation_rejections = 0;
+  std::int64_t busy_cell_time = 0;
+  double max_fragmentation = 0.0;  ///< worst GridMap::fragmentation() seen
+  std::optional<Miss2D> first_miss;
+
+  [[nodiscard]] double average_occupancy(Device2D dev) const {
+    if (horizon <= 0) return 0.0;
+    return static_cast<double>(busy_cell_time) /
+           (static_cast<double>(horizon) * static_cast<double>(dev.cells()));
+  }
+};
+
+/// Event-driven simulation of global EDF on a 2D-reconfigurable device.
+/// Semantics mirror the 1D engine's contiguous-no-migration mode: running
+/// jobs keep their rectangles; anyone else needs a fresh feasible position
+/// (a new reconfiguration); synchronous release at t = 0.
+[[nodiscard]] Sim2DResult simulate2d(const TaskSet2D& ts, Device2D dev,
+                                     const Sim2DConfig& config = {});
+
+}  // namespace reconf::area2d

@@ -1,0 +1,33 @@
+#include "area2d/task2d.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace reconf::area2d {
+
+TaskSet2D::TaskSet2D(std::vector<Task2D> tasks) : tasks_(std::move(tasks)) {
+  for (const Task2D& t : tasks_) {
+    RECONF_EXPECTS(t.well_formed());
+    ut_ += t.time_utilization();
+    us_cells_ += t.system_utilization();
+    max_period_ = std::max(max_period_, t.period);
+    max_cells_ = std::max(max_cells_, t.cells());
+  }
+}
+
+TaskSet TaskSet2D::to_1d_relaxation() const {
+  std::vector<Task> out;
+  out.reserve(tasks_.size());
+  for (const Task2D& t : tasks_) {
+    Task flat;
+    flat.wcet = t.wcet;
+    flat.deadline = t.deadline;
+    flat.period = t.period;
+    flat.area = static_cast<Area>(t.cells());
+    flat.name = t.name;
+    out.push_back(std::move(flat));
+  }
+  return TaskSet{std::move(out)};
+}
+
+}  // namespace reconf::area2d

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "area2d/geometry.hpp"
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::area2d {
+
+/// A hardware task on a 2D-reconfigurable device: the 1D model's column
+/// count becomes a width×height cell rectangle (paper Section 7 future
+/// work). Execution semantics are otherwise identical.
+struct Task2D {
+  Ticks wcet = 0;
+  Ticks deadline = 0;
+  Ticks period = 0;
+  Area width = 0;
+  Area height = 0;
+  std::string name;
+
+  [[nodiscard]] std::int64_t cells() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] double time_utilization() const {
+    RECONF_EXPECTS(period > 0);
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+  /// System utilization in cells: (w·h)·C/T.
+  [[nodiscard]] double system_utilization() const {
+    return time_utilization() * static_cast<double>(cells());
+  }
+  [[nodiscard]] bool well_formed() const noexcept {
+    return wcet > 0 && deadline > 0 && period > 0 && width > 0 && height > 0;
+  }
+};
+
+[[nodiscard]] inline Task2D make_task2d(double wcet_units,
+                                        double deadline_units,
+                                        double period_units, Area width,
+                                        Area height, std::string name = {},
+                                        Ticks scale = kTicksPerUnit) {
+  Task2D t;
+  t.wcet = ticks_from_units(wcet_units, scale);
+  t.deadline = ticks_from_units(deadline_units, scale);
+  t.period = ticks_from_units(period_units, scale);
+  t.width = width;
+  t.height = height;
+  t.name = std::move(name);
+  RECONF_ENSURES(t.well_formed());
+  return t;
+}
+
+/// Immutable 2D taskset with the aggregates the experiments need.
+class TaskSet2D {
+ public:
+  TaskSet2D() = default;
+  explicit TaskSet2D(std::vector<Task2D> tasks);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task2D& operator[](std::size_t i) const {
+    RECONF_EXPECTS(i < tasks_.size());
+    return tasks_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  [[nodiscard]] double time_utilization() const noexcept { return ut_; }
+  /// Σ (w·h)·C/T in cells — the 2D analogue of U_S.
+  [[nodiscard]] double system_utilization_cells() const noexcept {
+    return us_cells_;
+  }
+  [[nodiscard]] Ticks max_period() const noexcept { return max_period_; }
+  [[nodiscard]] std::int64_t max_cells() const noexcept { return max_cells_; }
+
+  /// The paper's 1D unrestricted-migration *relaxation*: each rectangle
+  /// becomes a 1D task of area w·h on a device of width W·H. Any feasible
+  /// 2D schedule is area-feasible in the relaxation, so the relaxation's
+  /// simulated acceptance upper-bounds every 2D placement strategy — the
+  /// gap between the two is precisely the fragmentation cost the paper's
+  /// future work asks about (bench_2d).
+  [[nodiscard]] TaskSet to_1d_relaxation() const;
+
+ private:
+  std::vector<Task2D> tasks_;
+  double ut_ = 0.0;
+  double us_cells_ = 0.0;
+  Ticks max_period_ = 0;
+  std::int64_t max_cells_ = 0;
+};
+
+[[nodiscard]] inline Device to_1d_relaxation(Device2D dev) {
+  RECONF_EXPECTS(dev.cells() <= std::numeric_limits<Area>::max());
+  return Device{static_cast<Area>(dev.cells())};
+}
+
+}  // namespace reconf::area2d

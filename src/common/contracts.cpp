@@ -1,0 +1,16 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reconf::detail {
+
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line) noexcept {
+  std::fprintf(stderr, "[reconf] %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace reconf::detail

@@ -1,0 +1,34 @@
+#pragma once
+
+// Lightweight, always-on contract macros in the spirit of the C++ Core
+// Guidelines (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Contracts stay enabled in Release builds: this library backs a research
+// reproduction where silent arithmetic or indexing errors would invalidate
+// results, and the checks are far off any hot path that matters.
+
+namespace reconf::detail {
+
+/// Prints a diagnostic to stderr and aborts. Never returns.
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line) noexcept;
+
+}  // namespace reconf::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define RECONF_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::reconf::detail::contract_violation("Precondition", #cond,      \
+                                                 __FILE__, __LINE__))
+
+/// Postcondition check: guarantees at function exit.
+#define RECONF_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::reconf::detail::contract_violation("Postcondition", #cond,     \
+                                                 __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define RECONF_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::reconf::detail::contract_violation("Invariant", #cond,         \
+                                                 __FILE__, __LINE__))

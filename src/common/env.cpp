@@ -1,0 +1,22 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace reconf {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const auto text = env_string(name);
+  if (!text) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace reconf

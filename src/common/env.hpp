@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace reconf {
+
+/// Reads an environment variable, if set and non-empty.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Reads a positive integer environment variable; returns `fallback` when
+/// unset or unparsable. Used by the bench harness for knobs such as
+/// RECONF_SAMPLES (tasksets per utilization bin).
+[[nodiscard]] std::int64_t env_int64(const char* name, std::int64_t fallback);
+
+}  // namespace reconf

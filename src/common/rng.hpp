@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace reconf {
+
+/// SplitMix64 — seeding generator and cheap hash for deriving independent
+/// streams (Steele et al.). Deterministic across platforms.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a (seed, index) pair into a fresh stream seed: the idiom that makes
+/// experiments deterministic regardless of thread scheduling — sample i
+/// always draws from stream derive_seed(seed, i).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t index) noexcept {
+  SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  return mix.next();
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Implemented here (rather than std::mt19937_64 + std distributions)
+/// because the standard distributions are not bit-reproducible across
+/// standard libraries, and reproducibility of the synthetic tasksets is a
+/// requirement for the experiment harness.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& s : state_) s = mix.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), bias-free via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    RECONF_EXPECTS(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t draw = next();
+    while (draw >= limit) draw = next();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace reconf

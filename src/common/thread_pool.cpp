@@ -1,0 +1,67 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace reconf {
+
+unsigned effective_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  RECONF_EXPECTS(static_cast<bool>(body));
+  if (n == 0) return;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(effective_threads(threads), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic chunked scheduling: cheap enough for coarse tasks, and it keeps
+  // workers busy when per-index cost is skewed (simulation near the
+  // schedulability cliff is far slower than far from it).
+  std::atomic<std::size_t> next{0};
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (first_error != nullptr) return;  // racy read is fine: best effort
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace reconf

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace reconf {
+
+/// Runs `body(i)` for every i in [0, n) using up to `threads` worker threads
+/// (0 selects the hardware concurrency). Iterations are distributed in
+/// contiguous blocks; `body` must be safe to call concurrently for distinct
+/// indices.
+///
+/// Determinism contract: callers must derive any randomness from the index
+/// (not from thread identity), so results are identical for any thread count
+/// — the idiom used throughout the experiment harness.
+///
+/// Exceptions thrown by `body` are captured and the first one is rethrown on
+/// the calling thread after all workers join.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+/// Number of worker threads `parallel_for` would use for `requested`.
+[[nodiscard]] unsigned effective_threads(unsigned requested) noexcept;
+
+}  // namespace reconf

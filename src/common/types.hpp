@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace reconf {
+
+/// Discrete simulation/analysis time. All task parameters (C, D, T) and all
+/// simulator clocks are integer ticks, so event arithmetic is exact.
+using Ticks = std::int64_t;
+
+/// FPGA area in columns. The paper models a 1D-reconfigurable device whose
+/// tasks occupy an integer number of contiguous columns; the integrality of
+/// areas is exactly what Lemma 1's improved alpha bound exploits.
+using Area = std::int32_t;
+
+inline constexpr Ticks kNoTick = std::numeric_limits<Ticks>::max();
+
+/// Default resolution when converting the paper's real-valued time units
+/// (e.g. C = 1.26) to ticks: 100 ticks per unit makes every two-decimal
+/// value in the paper exactly representable.
+inline constexpr Ticks kTicksPerUnit = 100;
+
+/// Converts paper time-units to ticks, rounding to nearest.
+[[nodiscard]] inline Ticks ticks_from_units(double units,
+                                            Ticks scale = kTicksPerUnit) {
+  RECONF_EXPECTS(scale > 0);
+  RECONF_EXPECTS(std::isfinite(units));
+  const double scaled = units * static_cast<double>(scale);
+  RECONF_EXPECTS(std::abs(scaled) <
+                 static_cast<double>(std::numeric_limits<Ticks>::max()));
+  return static_cast<Ticks>(std::llround(scaled));
+}
+
+/// Converts ticks back to paper time-units.
+[[nodiscard]] inline double units_from_ticks(Ticks t,
+                                             Ticks scale = kTicksPerUnit) {
+  RECONF_EXPECTS(scale > 0);
+  return static_cast<double>(t) / static_cast<double>(scale);
+}
+
+/// The 1D reconfigurable device: a homogeneous strip of `width` columns
+/// (called A(H) in the paper). Pre-configured regions are out of scope, as in
+/// the paper's assumptions (Section 1).
+struct Device {
+  Area width = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return width > 0; }
+};
+
+}  // namespace reconf

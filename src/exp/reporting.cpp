@@ -1,0 +1,116 @@
+#include "exp/reporting.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "math/stats.hpp"
+
+namespace reconf::exp {
+
+std::string format_table(const SweepResult& result) {
+  std::ostringstream os;
+  os << std::left << std::setw(9) << "U_S" << std::setw(9) << "(mean)"
+     << std::setw(9) << "n";
+  for (const std::string& name : result.series_names) {
+    os << std::right << std::setw(10) << name;
+  }
+  os << "\n";
+  os << std::fixed;
+  for (const BinResult& bin : result.bins) {
+    os << std::left << std::setprecision(1) << std::setw(9) << bin.us_target
+       << std::setw(9) << bin.us_achieved_mean << std::setw(9) << bin.samples;
+    for (std::size_t s = 0; s < result.series_names.size(); ++s) {
+      os << std::right << std::setprecision(3) << std::setw(10)
+         << bin.ratio(s);
+    }
+    os << "\n";
+  }
+  if (result.generation_failures > 0) {
+    os << "(generation failures: " << result.generation_failures << ")\n";
+  }
+  os << std::setprecision(2) << "[" << result.wall_seconds << " s]\n";
+  return os.str();
+}
+
+std::string ascii_chart(const SweepResult& result, int height) {
+  const int h = std::max(4, height);
+  const std::size_t w = result.bins.size();
+  const std::size_t ns = result.series_names.size();
+  static constexpr char kMarkers[] = "DABCEFGHIJ";  // per-series marker pool
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(w, ' '));
+  for (std::size_t s = 0; s < ns; ++s) {
+    const char mark = result.series_names[s] == "DP"    ? 'D'
+                      : result.series_names[s] == "GN1" ? '1'
+                      : result.series_names[s] == "GN2" ? '2'
+                      : result.series_names[s] == "ANY" ? 'A'
+                      : result.series_names[s].rfind("SIM", 0) == 0
+                          ? 'S'
+                          : kMarkers[s % (sizeof(kMarkers) - 1)];
+    for (std::size_t b = 0; b < w; ++b) {
+      const double r = result.bins[b].ratio(s);
+      const int row = std::clamp(
+          static_cast<int>((1.0 - r) * (h - 1) + 0.5), 0, h - 1);
+      char& cell = canvas[static_cast<std::size_t>(row)][b];
+      cell = cell == ' ' ? mark : '*';  // '*' marks overlapping series
+    }
+  }
+
+  std::ostringstream os;
+  os << "acceptance ratio (rows 1.0 -> 0.0), '*' = overlap\n";
+  for (int row = 0; row < h; ++row) {
+    const double level =
+        1.0 - static_cast<double>(row) / static_cast<double>(h - 1);
+    os << std::fixed << std::setprecision(2) << std::setw(5) << level << " |"
+       << canvas[static_cast<std::size_t>(row)] << "|\n";
+  }
+  os << "       ";
+  for (std::size_t b = 0; b < w; ++b) os << (b % 5 == 0 ? '+' : '-');
+  os << "\n       U_S: " << std::setprecision(1)
+     << result.bins.front().us_target << " .. "
+     << result.bins.back().us_target << "  (" << w << " bins)\n";
+  os << "       series:";
+  for (std::size_t s = 0; s < ns; ++s) {
+    os << ' ' << result.series_names[s];
+  }
+  os << "\n";
+  return os.str();
+}
+
+void write_csv(const SweepResult& result, std::ostream& os) {
+  os << "us_target,us_achieved_mean,samples";
+  for (const std::string& name : result.series_names) os << ',' << name;
+  for (const std::string& name : result.series_names) {
+    os << ',' << name << "_wilson_lo," << name << "_wilson_hi";
+  }
+  os << "\n";
+  for (const BinResult& bin : result.bins) {
+    os << bin.us_target << ',' << bin.us_achieved_mean << ',' << bin.samples;
+    for (std::size_t s = 0; s < result.series_names.size(); ++s) {
+      os << ',' << bin.ratio(s);
+    }
+    for (std::size_t s = 0; s < result.series_names.size(); ++s) {
+      const auto iv = math::wilson_interval(bin.accepted[s], bin.samples);
+      os << ',' << iv.lo << ',' << iv.hi;
+    }
+    os << "\n";
+  }
+}
+
+std::string write_csv_file(const SweepResult& result,
+                           const std::string& filename) {
+  std::ofstream file(filename);
+  if (!file) {
+    std::fprintf(stderr, "[reconf] could not write %s\n", filename.c_str());
+    return {};
+  }
+  write_csv(result, file);
+  return filename;
+}
+
+}  // namespace reconf::exp

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/sweep.hpp"
+
+namespace reconf::exp {
+
+/// Plain-text acceptance table: one row per U_S bin, one column per series
+/// (the shape of the paper's Figs. 3-4, as numbers).
+[[nodiscard]] std::string format_table(const SweepResult& result);
+
+/// Terminal line chart of acceptance ratio vs U_S, one marker per series.
+[[nodiscard]] std::string ascii_chart(const SweepResult& result,
+                                      int height = 16);
+
+/// CSV: us_target,us_achieved_mean,samples,<series>... (acceptance ratios),
+/// then one `_wilson_lo/_hi` column pair per series.
+void write_csv(const SweepResult& result, std::ostream& os);
+
+/// Writes the CSV next to the benchmark binaries; returns the path written,
+/// or empty on I/O failure (reported to stderr, never fatal).
+std::string write_csv_file(const SweepResult& result,
+                           const std::string& filename);
+
+}  // namespace reconf::exp

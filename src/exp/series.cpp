@@ -1,0 +1,66 @@
+#include "exp/series.hpp"
+
+#include "analysis/composite.hpp"
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "partition/partitioned.hpp"
+#include "sim/engine.hpp"
+
+namespace reconf::exp {
+
+SeriesSpec dp_series(analysis::DpOptions options) {
+  return {"DP", [options](const TaskSet& ts, Device dev) {
+            return analysis::dp_test(ts, dev, options).accepted();
+          }};
+}
+
+SeriesSpec gn1_series(analysis::Gn1Options options) {
+  return {"GN1", [options](const TaskSet& ts, Device dev) {
+            return analysis::gn1_test(ts, dev, options).accepted();
+          }};
+}
+
+SeriesSpec gn2_series(analysis::Gn2Options options) {
+  return {"GN2", [options](const TaskSet& ts, Device dev) {
+            return analysis::gn2_test(ts, dev, options).accepted();
+          }};
+}
+
+SeriesSpec any_test_series(analysis::CompositeOptions options) {
+  return {"ANY", [options](const TaskSet& ts, Device dev) {
+            return analysis::composite_test(ts, dev, options).accepted();
+          }};
+}
+
+SeriesSpec sim_series(sim::SchedulerKind scheduler, sim::SimConfig base) {
+  base.scheduler = scheduler;
+  base.stop_on_first_miss = true;
+  base.record_trace = false;
+  std::string name = std::string("SIM-") + sim::to_string(scheduler);
+  return {std::move(name), [base](const TaskSet& ts, Device dev) {
+            return sim::simulate(ts, dev, base).schedulable;
+          }};
+}
+
+SeriesSpec partitioned_series() {
+  return {"PART", [](const TaskSet& ts, Device dev) {
+            return partition::partitioned_schedulable(ts, dev);
+          }};
+}
+
+std::vector<SeriesSpec> paper_series(sim::SimConfig sim_base, bool include_any,
+                                     bool include_fkf_sim) {
+  std::vector<SeriesSpec> out;
+  out.push_back(dp_series());
+  out.push_back(gn1_series());
+  out.push_back(gn2_series());
+  if (include_any) out.push_back(any_test_series());
+  out.push_back(sim_series(sim::SchedulerKind::kEdfNf, sim_base));
+  if (include_fkf_sim) {
+    out.push_back(sim_series(sim::SchedulerKind::kEdfFkF, sim_base));
+  }
+  return out;
+}
+
+}  // namespace reconf::exp

@@ -1,0 +1,88 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "gen/rng.hpp"
+
+namespace reconf::exp {
+
+SweepResult run_sweep(const SweepConfig& config) {
+  RECONF_EXPECTS(config.bins > 0);
+  RECONF_EXPECTS(config.samples_per_bin > 0);
+  RECONF_EXPECTS(!config.series.empty());
+  RECONF_EXPECTS(config.device.valid());
+  RECONF_EXPECTS(config.us_min > 0 && config.us_min <= config.us_max);
+
+  const std::size_t num_series = config.series.size();
+  const std::size_t num_bins = static_cast<std::size_t>(config.bins);
+  const std::size_t per_bin = static_cast<std::size_t>(config.samples_per_bin);
+  const std::size_t total = num_bins * per_bin;
+
+  // Flat atomic counters: acceptance per (bin, series), plus per-bin sample
+  // counts and achieved-U_S sums (in micro-units to stay integral).
+  std::vector<std::atomic<std::uint64_t>> accepted(num_bins * num_series);
+  std::vector<std::atomic<std::uint64_t>> samples(num_bins);
+  std::vector<std::atomic<std::int64_t>> us_sum_micro(num_bins);
+  std::atomic<std::uint64_t> failures{0};
+
+  Stopwatch watch;
+  parallel_for(
+      total,
+      [&](std::size_t flat) {
+        const std::size_t bin = flat / per_bin;
+
+        gen::GenRequest request;
+        request.profile = config.profile;
+        request.target_system_util = config.bin_target(static_cast<int>(bin));
+        request.seed = gen::derive_seed(config.seed, flat);
+
+        const auto ts =
+            gen::generate_with_retries(request, config.gen_attempts);
+        if (!ts) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+
+        samples[bin].fetch_add(1, std::memory_order_relaxed);
+        us_sum_micro[bin].fetch_add(
+            static_cast<std::int64_t>(ts->system_utilization() * 1e6),
+            std::memory_order_relaxed);
+        for (std::size_t s = 0; s < num_series; ++s) {
+          if (config.series[s].accept(*ts, config.device)) {
+            accepted[bin * num_series + s].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      },
+      config.threads);
+
+  SweepResult result;
+  result.wall_seconds = watch.seconds();
+  result.generation_failures = failures.load();
+  result.series_names.reserve(num_series);
+  for (const SeriesSpec& s : config.series) result.series_names.push_back(s.name);
+
+  result.bins.reserve(num_bins);
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    BinResult bin;
+    bin.us_target = config.bin_target(static_cast<int>(b));
+    bin.samples = samples[b].load();
+    bin.us_achieved_mean =
+        bin.samples == 0
+            ? 0.0
+            : static_cast<double>(us_sum_micro[b].load()) / 1e6 /
+                  static_cast<double>(bin.samples);
+    bin.accepted.reserve(num_series);
+    for (std::size_t s = 0; s < num_series; ++s) {
+      bin.accepted.push_back(accepted[b * num_series + s].load());
+    }
+    result.bins.push_back(std::move(bin));
+  }
+  return result;
+}
+
+}  // namespace reconf::exp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exp/series.hpp"
+#include "gen/generator.hpp"
+
+namespace reconf::exp {
+
+/// Configuration of one acceptance-ratio sweep (one figure of the paper):
+/// generate `samples_per_bin` tasksets at each U_S target and measure the
+/// fraction accepted by every series.
+struct SweepConfig {
+  gen::GenProfile profile;
+  Device device{100};
+
+  double us_min = 5.0;
+  double us_max = 100.0;
+  int bins = 20;
+  int samples_per_bin = 2000;
+
+  std::uint64_t seed = 0x20070326;  ///< IPDPS 2007 vintage default
+  int gen_attempts = 32;            ///< retries per sample before giving up
+
+  std::vector<SeriesSpec> series;
+
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+
+  [[nodiscard]] double bin_target(int bin) const {
+    return us_min + (us_max - us_min) *
+                        (static_cast<double>(bin) + 0.5) /
+                        static_cast<double>(bins);
+  }
+};
+
+struct BinResult {
+  double us_target = 0.0;
+  double us_achieved_mean = 0.0;
+  std::uint64_t samples = 0;
+  std::vector<std::uint64_t> accepted;  ///< one count per series
+
+  [[nodiscard]] double ratio(std::size_t series) const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(accepted[series]) /
+                     static_cast<double>(samples);
+  }
+};
+
+struct SweepResult {
+  std::vector<std::string> series_names;
+  std::vector<BinResult> bins;
+  std::uint64_t generation_failures = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the sweep. Deterministic for a fixed config (including seed),
+/// independent of `threads`.
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace reconf::exp

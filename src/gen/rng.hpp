@@ -1,0 +1,15 @@
+#pragma once
+
+// The RNG primitives moved to common/rng.hpp (the simulator needs them for
+// sporadic arrival streams); this header re-exports them under the historic
+// reconf::gen names used throughout the generators and experiment code.
+
+#include "common/rng.hpp"
+
+namespace reconf::gen {
+
+using ::reconf::SplitMix64;
+using ::reconf::Xoshiro256ss;
+using ::reconf::derive_seed;
+
+}  // namespace reconf::gen

@@ -1,0 +1,339 @@
+#include "math/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace reconf::math {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN negation by going through uint64.
+  std::uint64_t mag = negative_
+                          ? ~static_cast<std::uint64_t>(value) + 1ull
+                          : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xFFFFFFFFull));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_string(const std::string& decimal) {
+  RECONF_EXPECTS(!decimal.empty());
+  std::size_t i = 0;
+  bool neg = false;
+  if (decimal[0] == '-' || decimal[0] == '+') {
+    neg = decimal[0] == '-';
+    i = 1;
+  }
+  RECONF_EXPECTS(i < decimal.size());
+  BigInt out;
+  for (; i < decimal.size(); ++i) {
+    const char c = decimal[i];
+    RECONF_EXPECTS(c >= '0' && c <= '9');
+    out *= BigInt(10);
+    out += BigInt(c - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  return (limbs_.size() - 1) * 32 +
+         (32 - static_cast<std::size_t>(std::countl_zero(top)));
+}
+
+bool BigInt::fits_int64() const noexcept {
+  const std::size_t bits = bit_length();
+  if (bits < 64) return true;
+  if (bits > 64) return false;
+  // Exactly 64 bits: only INT64_MIN (negative 2^63) fits.
+  return negative_ && limbs_.size() == 2 && limbs_[0] == 0 &&
+         limbs_[1] == 0x80000000u;
+}
+
+std::int64_t BigInt::to_int64() const {
+  RECONF_EXPECTS(fits_int64());
+  std::uint64_t mag = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    mag = (mag << 32) | limbs_[i];
+  }
+  if (negative_) return static_cast<std::int64_t>(~mag + 1ull);
+  return static_cast<std::int64_t>(mag);
+}
+
+double BigInt::to_double() const noexcept {
+  if (limbs_.empty()) return 0.0;
+  // Accumulate the top (up to) 96 bits, then scale by the dropped limbs.
+  double mag = 0.0;
+  const std::size_t n = limbs_.size();
+  const std::size_t take = std::min<std::size_t>(n, 3);
+  for (std::size_t i = 0; i < take; ++i) {
+    mag = mag * static_cast<double>(kBase) +
+          static_cast<double>(limbs_[n - 1 - i]);
+  }
+  mag = mag * std::pow(2.0, 32.0 * static_cast<double>(n - take));
+  return negative_ ? -mag : mag;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  BigInt tmp = *this;
+  tmp.negative_ = false;
+  std::vector<std::uint32_t> groups;  // base-1e9 digits, least significant first
+  while (!tmp.is_zero()) {
+    groups.push_back(tmp.divmod_small(1000000000u));
+  }
+  std::string digits = negative_ ? "-" : "";
+  digits += std::to_string(groups.back());  // most significant: no padding
+  for (std::size_t i = groups.size() - 1; i-- > 0;) {
+    const std::string group = std::to_string(groups[i]);
+    digits.append(9 - group.size(), '0');
+    digits += group;
+  }
+  return digits;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.negative_ = false;
+  return r;
+}
+
+BigInt BigInt::negated() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+int BigInt::compare_magnitude(const BigInt& a, const BigInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::add_magnitude(std::vector<std::uint32_t>& acc,
+                           const std::vector<std::uint32_t>& o) {
+  std::uint64_t carry = 0;
+  const std::size_t n = std::max(acc.size(), o.size());
+  acc.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + acc[i];
+    if (i < o.size()) sum += o[i];
+    acc[i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFull);
+    carry = sum >> 32;
+  }
+  if (carry != 0) acc.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::sub_magnitude(std::vector<std::uint32_t>& acc,
+                           const std::vector<std::uint32_t>& o) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(acc[i]) - borrow;
+    if (i < o.size()) diff -= static_cast<std::int64_t>(o[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    acc[i] = static_cast<std::uint32_t>(diff);
+  }
+  RECONF_ASSERT(borrow == 0);
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (negative_ == o.negative_) {
+    add_magnitude(limbs_, o.limbs_);
+  } else if (compare_magnitude(*this, o) >= 0) {
+    sub_magnitude(limbs_, o.limbs_);
+  } else {
+    std::vector<std::uint32_t> tmp = o.limbs_;
+    sub_magnitude(tmp, limbs_);
+    limbs_ = std::move(tmp);
+    negative_ = o.negative_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) { return *this += o.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  if (is_zero() || o.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          ai * o.limbs_[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFull);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = carry + out[k];
+      out[k] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFull);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  negative_ = negative_ != o.negative_;
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  limbs_.insert(limbs_.begin(), limb_shift, 0u);
+  if (bit_shift != 0) {
+    std::uint32_t carry = 0;
+    for (std::size_t i = limb_shift; i < limbs_.size(); ++i) {
+      const std::uint64_t cur =
+          (static_cast<std::uint64_t>(limbs_[i]) << bit_shift) | carry;
+      limbs_[i] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFull);
+      carry = static_cast<std::uint32_t>(cur >> 32);
+    }
+    if (carry != 0) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(),
+               limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i + 1 < limbs_.size(); ++i) {
+      limbs_[i] = (limbs_[i] >> bit_shift) |
+                  (limbs_[i + 1] << (32 - bit_shift));
+    }
+    limbs_.back() >>= bit_shift;
+  }
+  trim();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  const int mag = BigInt::compare_magnitude(a, b);
+  const int signed_mag = a.negative_ ? -mag : mag;
+  if (signed_mag < 0) return std::strong_ordering::less;
+  if (signed_mag > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::uint32_t BigInt::divmod_small(std::uint32_t divisor) {
+  RECONF_EXPECTS(divisor != 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  trim();
+  return static_cast<std::uint32_t>(rem);
+}
+
+std::size_t BigInt::trailing_zero_bits() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::size_t tz = 0;
+  for (const std::uint32_t limb : limbs_) {
+    if (limb == 0) {
+      tz += 32;
+    } else {
+      tz += static_cast<std::size_t>(std::countr_zero(limb));
+      break;
+    }
+  }
+  return tz;
+}
+
+BigInt BigInt::gcd(const BigInt& a_in, const BigInt& b_in) {
+  BigInt a = a_in.abs();
+  BigInt b = b_in.abs();
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+
+  const std::size_t shift =
+      std::min(a.trailing_zero_bits(), b.trailing_zero_bits());
+  a >>= a.trailing_zero_bits();
+  for (;;) {
+    b >>= b.trailing_zero_bits();
+    if (a > b) std::swap(a, b);
+    b -= a;
+    if (b.is_zero()) break;
+  }
+  a <<= shift;
+  return a;
+}
+
+BigInt BigInt::divide_exact(const BigInt& dividend, const BigInt& divisor) {
+  RECONF_EXPECTS(!divisor.is_zero());
+  if (dividend.is_zero()) return BigInt(0);
+
+  // Binary long division on magnitudes.
+  const BigInt num = dividend.abs();
+  const BigInt den = divisor.abs();
+  if (num < den) {
+    RECONF_ASSERT(false && "divide_exact requires exact divisibility");
+  }
+  const std::size_t shift_max = num.bit_length() - den.bit_length();
+  BigInt remainder = num;
+  BigInt quotient(0);
+  for (std::size_t s = shift_max + 1; s-- > 0;) {
+    BigInt shifted = den;
+    shifted <<= s;
+    if (shifted <= remainder) {
+      remainder -= shifted;
+      BigInt one(1);
+      one <<= s;
+      quotient += one;
+    }
+  }
+  RECONF_ENSURES(remainder.is_zero());
+  if (dividend.is_negative() != divisor.is_negative() && !quotient.is_zero()) {
+    quotient.negative_ = true;
+  }
+  return quotient;
+}
+
+}  // namespace reconf::math

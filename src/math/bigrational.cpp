@@ -1,0 +1,84 @@
+#include "math/bigrational.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace reconf::math {
+
+BigRational::BigRational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  RECONF_EXPECTS(!den_.is_zero());
+  normalize();
+}
+
+void BigRational::normalize() {
+  if (den_.is_negative()) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = BigInt::gcd(num_, den_);
+  if (g > BigInt(1)) {
+    num_ = BigInt::divide_exact(num_, g);
+    den_ = BigInt::divide_exact(den_, g);
+  }
+}
+
+double BigRational::to_double() const noexcept {
+  // If both terms overflow double's exponent range, drop a common power of
+  // two first; if only one does, the naive quotient already saturates the
+  // right way (inf or 0).
+  const std::size_t nb = num_.bit_length();
+  const std::size_t db = den_.bit_length();
+  if (nb >= 1020 && db >= 1020) {
+    const std::size_t shift = (nb < db ? nb : db) - 64;
+    BigInt n = num_;
+    BigInt d = den_;
+    n >>= shift;
+    d >>= shift;
+    return n.to_double() / d.to_double();
+  }
+  return num_.to_double() / den_.to_double();
+}
+
+std::string BigRational::to_string() const {
+  if (den_ == BigInt(1)) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+BigRational BigRational::operator-() const {
+  BigRational r = *this;
+  r.num_ = r.num_.negated();
+  return r;
+}
+
+BigRational operator+(const BigRational& a, const BigRational& b) {
+  return BigRational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+BigRational operator-(const BigRational& a, const BigRational& b) {
+  return BigRational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+BigRational operator*(const BigRational& a, const BigRational& b) {
+  return BigRational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+BigRational operator/(const BigRational& a, const BigRational& b) {
+  RECONF_EXPECTS(!b.is_zero());
+  return BigRational(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+std::strong_ordering operator<=>(const BigRational& a,
+                                 const BigRational& b) noexcept {
+  // Cross-multiplication; denominators are positive by invariant.
+  const BigInt lhs = a.num_ * b.den_;
+  const BigInt rhs = b.num_ * a.den_;
+  return lhs <=> rhs;
+}
+
+}  // namespace reconf::math

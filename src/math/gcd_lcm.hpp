@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+
+#include "common/contracts.hpp"
+#include "math/checked.hpp"
+
+namespace reconf::math {
+
+/// Greatest common divisor of non-negative values (gcd(0, x) == x).
+[[nodiscard]] inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  RECONF_EXPECTS(a >= 0 && b >= 0);
+  return std::gcd(a, b);
+}
+
+/// Least common multiple with overflow detection; nullopt if the result does
+/// not fit in int64. lcm(0, x) is defined as 0.
+[[nodiscard]] inline std::optional<std::int64_t> lcm64(std::int64_t a,
+                                                       std::int64_t b) {
+  RECONF_EXPECTS(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = std::gcd(a, b);
+  return checked_mul(a / g, b);
+}
+
+/// LCM of a sequence (hyperperiod computation); nullopt on overflow.
+[[nodiscard]] inline std::optional<std::int64_t> lcm_all(
+    std::span<const std::int64_t> values) {
+  std::int64_t acc = 1;
+  for (const std::int64_t v : values) {
+    RECONF_EXPECTS(v > 0);
+    const auto next = lcm64(acc, v);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+}  // namespace reconf::math

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hpp"
+#include "math/bigrational.hpp"
+
+namespace reconf::math {
+
+/// The schedulability tests (analysis/, mp/) are written once as templates
+/// over a numeric policy. Two policies are provided:
+///
+///  * DoublePolicy — fast path used by the large acceptance-ratio sweeps.
+///    Comparisons are tolerance-aware so IEEE rounding cannot flip a verdict
+///    on the knife-edge equalities the paper's Table 1 sits on.
+///  * ExactPolicy — BigRational arithmetic with exact comparisons; the
+///    ground truth used by the property tests and available via the
+///    *_test_exact entry points.
+///
+/// `lt(a,b)` is the strict comparison used where a theorem demands `<`
+/// (tolerance-guarded for doubles), `le(a,b)` the non-strict `<=`.
+struct DoublePolicy {
+  using Real = double;
+
+  static constexpr double kEps = 1e-9;
+
+  [[nodiscard]] static Real ratio(Ticks num, Ticks den) {
+    RECONF_EXPECTS(den != 0);
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  [[nodiscard]] static Real from_int(std::int64_t v) {
+    return static_cast<double>(v);
+  }
+  [[nodiscard]] static bool lt(Real a, Real b) { return a < b - kEps; }
+  [[nodiscard]] static bool le(Real a, Real b) { return a <= b + kEps; }
+  [[nodiscard]] static Real min(Real a, Real b) { return std::min(a, b); }
+  [[nodiscard]] static Real max(Real a, Real b) { return std::max(a, b); }
+  [[nodiscard]] static double to_double(Real v) { return v; }
+};
+
+struct ExactPolicy {
+  using Real = BigRational;
+
+  [[nodiscard]] static Real ratio(Ticks num, Ticks den) {
+    return BigRational(num, den);
+  }
+  [[nodiscard]] static Real from_int(std::int64_t v) {
+    return BigRational(v);
+  }
+  [[nodiscard]] static bool lt(const Real& a, const Real& b) { return a < b; }
+  [[nodiscard]] static bool le(const Real& a, const Real& b) {
+    return a <= b;
+  }
+  [[nodiscard]] static Real min(const Real& a, const Real& b) {
+    return rmin(a, b);
+  }
+  [[nodiscard]] static Real max(const Real& a, const Real& b) {
+    return rmax(a, b);
+  }
+  [[nodiscard]] static double to_double(const Real& v) {
+    return v.to_double();
+  }
+};
+
+}  // namespace reconf::math

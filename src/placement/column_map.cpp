@@ -1,0 +1,124 @@
+#include "placement/column_map.hpp"
+
+#include <algorithm>
+
+namespace reconf::placement {
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kFirstFit:
+      return "first-fit";
+    case Strategy::kBestFit:
+      return "best-fit";
+    case Strategy::kWorstFit:
+      return "worst-fit";
+  }
+  return "?";
+}
+
+ColumnMap::ColumnMap(Area width) : width_(width), free_area_(width) {
+  RECONF_EXPECTS(width > 0);
+  free_.emplace(0, width);
+}
+
+Area ColumnMap::largest_gap() const noexcept {
+  Area best = 0;
+  for (const auto& [lo, hi] : free_) best = std::max(best, hi - lo);
+  return best;
+}
+
+std::optional<Interval> ColumnMap::find_gap(Area size,
+                                            Strategy strategy) const {
+  RECONF_EXPECTS(size > 0);
+  std::optional<Interval> chosen;
+  for (const auto& [lo, hi] : free_) {
+    const Area gap = hi - lo;
+    if (gap < size) continue;
+    switch (strategy) {
+      case Strategy::kFirstFit:
+        return Interval{lo, lo + size};
+      case Strategy::kBestFit:
+        if (!chosen || gap < chosen->hi - chosen->lo) chosen = Interval{lo, hi};
+        break;
+      case Strategy::kWorstFit:
+        if (!chosen || gap > chosen->hi - chosen->lo) chosen = Interval{lo, hi};
+        break;
+    }
+  }
+  if (!chosen) return std::nullopt;
+  return Interval{chosen->lo, chosen->lo + size};
+}
+
+bool ColumnMap::is_free(Interval iv) const {
+  RECONF_EXPECTS(iv.lo >= 0 && iv.hi <= width_ && iv.lo < iv.hi);
+  // The containing gap must start at or before iv.lo and end at or after
+  // iv.hi. Gaps are disjoint and non-adjacent, so one lookup suffices.
+  auto it = free_.upper_bound(iv.lo);
+  if (it == free_.begin()) return false;
+  --it;
+  return it->first <= iv.lo && it->second >= iv.hi;
+}
+
+void ColumnMap::allocate(Interval iv) {
+  RECONF_EXPECTS(is_free(iv));
+  auto it = free_.upper_bound(iv.lo);
+  --it;
+  const Area gap_lo = it->first;
+  const Area gap_hi = it->second;
+  free_.erase(it);
+  if (gap_lo < iv.lo) free_.emplace(gap_lo, iv.lo);
+  if (iv.hi < gap_hi) free_.emplace(iv.hi, gap_hi);
+  free_area_ -= iv.size();
+  RECONF_ENSURES(free_area_ >= 0);
+}
+
+void ColumnMap::release(Interval iv) {
+  RECONF_EXPECTS(iv.lo >= 0 && iv.hi <= width_ && iv.lo < iv.hi);
+  // The released interval must not overlap any free gap.
+  auto next = free_.upper_bound(iv.lo);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    RECONF_EXPECTS(prev->second <= iv.lo);
+  }
+  RECONF_EXPECTS(next == free_.end() || next->first >= iv.hi);
+
+  Area lo = iv.lo;
+  Area hi = iv.hi;
+  // Coalesce with adjacent gaps.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second == lo) {
+      lo = prev->first;
+      free_.erase(prev);
+    }
+  }
+  next = free_.upper_bound(lo);
+  if (next != free_.end() && next->first == hi) {
+    hi = next->second;
+    free_.erase(next);
+  }
+  free_.emplace(lo, hi);
+  free_area_ += iv.size();
+  RECONF_ENSURES(free_area_ <= width_);
+}
+
+void ColumnMap::clear() {
+  free_.clear();
+  free_.emplace(0, width_);
+  free_area_ = width_;
+}
+
+std::vector<Interval> ColumnMap::gaps() const {
+  std::vector<Interval> out;
+  out.reserve(free_.size());
+  for (const auto& [lo, hi] : free_) out.push_back(Interval{lo, hi});
+  return out;
+}
+
+double ColumnMap::fragmentation() const noexcept {
+  if (free_area_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_gap()) /
+                   static_cast<double>(free_area_);
+}
+
+}  // namespace reconf::placement

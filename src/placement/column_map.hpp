@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace reconf::placement {
+
+/// Gap-selection policy for contiguous placement (the classic 1D fit
+/// strategies the paper's future-work section names).
+enum class Strategy {
+  kFirstFit,  ///< leftmost gap that fits
+  kBestFit,   ///< smallest gap that fits (ties: leftmost)
+  kWorstFit,  ///< largest gap that fits (ties: leftmost)
+};
+
+[[nodiscard]] const char* to_string(Strategy s) noexcept;
+
+/// Half-open column interval [lo, hi).
+struct Interval {
+  Area lo = 0;
+  Area hi = 0;
+
+  [[nodiscard]] constexpr Area size() const noexcept { return hi - lo; }
+  friend constexpr bool operator==(const Interval&,
+                                   const Interval&) noexcept = default;
+};
+
+/// Occupancy map of a 1D reconfigurable device: tracks free column intervals
+/// and answers contiguous-fit queries. This is the substrate behind the
+/// placement-constrained simulator mode; the unrestricted-migration mode of
+/// the paper only needs the aggregate free area.
+class ColumnMap {
+ public:
+  explicit ColumnMap(Area width);
+
+  [[nodiscard]] Area width() const noexcept { return width_; }
+  [[nodiscard]] Area free_area() const noexcept { return free_area_; }
+  [[nodiscard]] Area occupied_area() const noexcept {
+    return width_ - free_area_;
+  }
+
+  /// Size of the largest free gap (0 when full).
+  [[nodiscard]] Area largest_gap() const noexcept;
+
+  /// True if `size` columns are free in total (the migration-mode criterion).
+  [[nodiscard]] bool fits_by_area(Area size) const noexcept {
+    return size > 0 && size <= free_area_;
+  }
+
+  /// True if a single free gap of at least `size` columns exists.
+  [[nodiscard]] bool fits_contiguously(Area size) const noexcept {
+    return size > 0 && largest_gap() >= size;
+  }
+
+  /// Chooses a placement of `size` columns according to `strategy`, or
+  /// nullopt if no gap fits. Does not allocate.
+  [[nodiscard]] std::optional<Interval> find_gap(Area size,
+                                                 Strategy strategy) const;
+
+  /// True if every column of `iv` is currently free.
+  [[nodiscard]] bool is_free(Interval iv) const;
+
+  /// Marks `iv` occupied; requires is_free(iv).
+  void allocate(Interval iv);
+
+  /// Marks `iv` free; requires every column of `iv` occupied.
+  void release(Interval iv);
+
+  /// Releases everything.
+  void clear();
+
+  /// Free intervals, left to right.
+  [[nodiscard]] std::vector<Interval> gaps() const;
+
+  /// External fragmentation in [0, 1]: 1 − largest_gap/free_area
+  /// (0 when free space is one chunk or the map is full).
+  [[nodiscard]] double fragmentation() const noexcept;
+
+ private:
+  Area width_;
+  Area free_area_;
+  std::map<Area, Area> free_;  ///< gap lo → hi, disjoint, non-adjacent
+};
+
+}  // namespace reconf::placement

@@ -1,0 +1,44 @@
+#pragma once
+
+// Umbrella header for the reconf-edf library: EDF schedulability analysis
+// and simulation for hardware tasks on 1D partially runtime-reconfigurable
+// devices, reproducing Guan, Gu, Deng, Liu, Yu — "Improved Schedulability
+// Analysis of EDF Scheduling on Reconfigurable Hardware Devices"
+// (IPDPS 2007).
+//
+// Typical use:
+//
+//   #include "reconf/reconf.hpp"
+//   using namespace reconf;
+//
+//   const TaskSet ts({make_task(2.10, 5, 5, 7), make_task(2.00, 7, 7, 7)});
+//   const Device fpga{10};
+//   const auto verdict = analysis::composite_test(ts, fpga);
+//   const auto run = sim::simulate(ts, fpga);
+
+#include "analysis/composite.hpp"
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "analysis/overhead.hpp"
+#include "analysis/sensitivity.hpp"
+#include "area2d/gen2d.hpp"
+#include "area2d/grid_map.hpp"
+#include "area2d/sim2d.hpp"
+#include "area2d/task2d.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "exp/reporting.hpp"
+#include "exp/series.hpp"
+#include "exp/sweep.hpp"
+#include "gen/generator.hpp"
+#include "gen/rng.hpp"
+#include "mp/mp_tests.hpp"
+#include "partition/partitioned.hpp"
+#include "placement/column_map.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+#include "task/fixtures.hpp"
+#include "task/io.hpp"
+#include "task/task.hpp"
+#include "task/taskset.hpp"

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "placement/column_map.hpp"
+
+namespace reconf::sim {
+
+/// Scheduling policies (paper Definitions 1-2 plus the Section 7 hybrid).
+enum class SchedulerKind {
+  kEdfNf,   ///< EDF-Next-Fit: scan EDF order, greedily place whatever fits.
+  kEdfFkF,  ///< EDF-First-k-Fit: run the maximal EDF-prefix that fits.
+  kEdfUs,   ///< EDF-US[ζ]: spatially-heavy tasks get top priority, rest EDF
+            ///< (future-work hybrid; heaviness by system utilization share).
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind k) noexcept;
+
+/// Spatial model of the device.
+enum class PlacementMode {
+  /// Paper assumption: unrestricted migration / free defragmentation —
+  /// a job fits iff its area is at most the free area.
+  kUnrestrictedMigration,
+  /// Future-work mode: jobs occupy real column intervals; a job starts or
+  /// resumes only into a contiguous gap (chosen by `strategy`); running jobs
+  /// never move while running (relocation = preempt + reconfigure).
+  kContiguousNoMigration,
+};
+
+[[nodiscard]] const char* to_string(PlacementMode m) noexcept;
+
+class DispatchObserver;  // sim/observer.hpp
+
+/// Release pattern of the task stream. The paper's tasks are "periodic or
+/// sporadic" (Section 2); analysis bounds quantify over both.
+enum class ArrivalModel {
+  kPeriodic,  ///< releases exactly every T_i (paper's simulation setting)
+  kSporadic,  ///< inter-arrival T_i + U(0, jitter·T_i), seeded per task
+};
+
+[[nodiscard]] const char* to_string(ArrivalModel m) noexcept;
+
+struct SimConfig {
+  SchedulerKind scheduler = SchedulerKind::kEdfNf;
+  PlacementMode placement = PlacementMode::kUnrestrictedMigration;
+  placement::Strategy strategy = placement::Strategy::kFirstFit;
+
+  /// Simulation end time; 0 selects min(hyperperiod, horizon_periods·T_max).
+  Ticks horizon = 0;
+  int horizon_periods = 200;
+
+  /// Stop at the first deadline miss (acceptance experiments). When false,
+  /// a missed job is abandoned at its deadline and the run continues,
+  /// counting all misses within the horizon.
+  bool stop_on_first_miss = true;
+
+  /// Record a per-job execution trace (examples, Gantt rendering).
+  bool record_trace = false;
+
+  /// Validate work-conservation invariants (Lemmas 1-2), the FkF prefix
+  /// property and the area cap at every dispatch; violations are collected
+  /// in SimResult::invariant_violations.
+  bool check_invariants = false;
+
+  /// Reconfiguration overhead ρ per column: every placement of task τi
+  /// stalls it for ρ·A_i ticks while it occupies its area (Section 1
+  /// discussion / future work). 0 reproduces the paper's assumption.
+  Ticks reconfig_cost_per_column = 0;
+
+  /// EDF-US[ζ]: a task is "heavy" if A_i·C_i/T_i > ζ·A(H).
+  double edf_us_threshold = 0.5;
+
+  /// Per-task release offsets (phases); empty means synchronous release at
+  /// t = 0, the paper's simulation setting.
+  std::vector<Ticks> offsets;
+
+  /// Sporadic arrivals: T_i is the *minimum* inter-arrival time; each next
+  /// release is delayed by a uniform draw in [0, sporadic_jitter·T_i].
+  /// Deterministic per (arrival_seed, task index).
+  ArrivalModel arrivals = ArrivalModel::kPeriodic;
+  double sporadic_jitter = 0.5;
+  std::uint64_t arrival_seed = 0;
+
+  /// Optional observer invoked at every dispatch (after the running set is
+  /// chosen); not owned. Used by property tests.
+  DispatchObserver* observer = nullptr;
+};
+
+}  // namespace reconf::sim

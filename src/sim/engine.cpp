@@ -1,0 +1,461 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "sim/invariants.hpp"
+#include "sim/observer.hpp"
+
+namespace reconf::sim {
+
+namespace {
+
+/// Engine-internal job state: the Job plus placement/runtime bookkeeping.
+struct ActiveJob {
+  Job job;
+  Ticks reconfig_remaining = 0;  ///< stall left before execution proceeds
+  bool has_columns = false;
+  placement::Interval columns{};
+  bool running = false;
+  bool was_running = false;
+};
+
+/// Priority order for the configured scheduler: plain EDF, or EDF-US[ζ]
+/// (heavy tasks first, then EDF).
+struct PriorityLess {
+  const std::vector<bool>* heavy;  // null for plain EDF
+
+  bool operator()(const ActiveJob& a, const ActiveJob& b) const {
+    if (heavy != nullptr) {
+      const bool ha = (*heavy)[a.job.task_index];
+      const bool hb = (*heavy)[b.job.task_index];
+      if (ha != hb) return ha;  // heavy class outranks everything
+    }
+    return edf_before(a.job, b.job);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const TaskSet& ts, Device device, const SimConfig& config)
+      : ts_(ts),
+        device_(device),
+        config_(config),
+        map_(device.width),
+        heavy_(ts.size(), false) {
+    RECONF_EXPECTS(device.valid());
+    RECONF_EXPECTS(config.offsets.empty() ||
+                   config.offsets.size() == ts.size());
+    if (config_.scheduler == SchedulerKind::kEdfUs) {
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        heavy_[i] = ts_[i].system_utilization() >
+                    config_.edf_us_threshold *
+                        static_cast<double>(device_.width);
+      }
+    }
+    if (config_.check_invariants) {
+      checker_ = std::make_unique<InvariantChecker>(config_.scheduler,
+                                                    config_.placement);
+    }
+  }
+
+  SimResult run() {
+    result_.horizon = default_horizon(ts_, config_);
+    if (const auto hp = ts_.hyperperiod()) {
+      result_.horizon_was_hyperperiod = (*hp == result_.horizon);
+    }
+    if (ts_.empty()) return result_;
+
+    // Any task that cannot fit alone misses its very first deadline; the
+    // event loop would discover this too, but failing fast keeps the
+    // degenerate case obvious.
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (ts_[i].area > device_.width || ts_[i].wcet > ts_[i].deadline) {
+        result_.schedulable = false;
+        result_.deadline_misses = 1;
+        result_.first_miss = MissInfo{i, 0, first_release(i) + ts_[i].deadline};
+        return result_;
+      }
+    }
+
+    next_release_.resize(ts_.size());
+    sequence_.resize(ts_.size(), 0);
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      next_release_[i] = first_release(i);
+      if (config_.arrivals == ArrivalModel::kSporadic) {
+        arrival_rng_.emplace_back(
+            derive_seed(config_.arrival_seed, static_cast<std::uint64_t>(i)));
+      }
+    }
+
+    Ticks now = 0;
+    const Ticks horizon = result_.horizon;
+
+    for (;;) {
+      if (detect_misses(now)) return result_;  // stop-on-first-miss
+      if (now >= horizon) break;
+      release_jobs(now);
+      dispatch(now);
+
+      const Ticks next = next_event_time(now, horizon);
+      RECONF_ASSERT(next > now);
+      advance(now, next);
+      reap_completed();
+      now = next;
+    }
+    if (checker_) result_.invariant_violations = checker_->violations();
+    return result_;
+  }
+
+ private:
+  [[nodiscard]] Ticks first_release(std::size_t i) const {
+    return config_.offsets.empty() ? 0 : config_.offsets[i];
+  }
+
+  /// Records deadline misses at `now`; returns true when the run must stop.
+  bool detect_misses(Ticks now) {
+    for (std::size_t i = 0; i < active_.size();) {
+      ActiveJob& a = active_[i];
+      if (!a.job.finished() && a.job.abs_deadline <= now) {
+        ++result_.deadline_misses;
+        result_.schedulable = false;
+        if (!result_.first_miss) {
+          result_.first_miss =
+              MissInfo{a.job.task_index, a.job.sequence, a.job.abs_deadline};
+        }
+        if (config_.stop_on_first_miss) return true;
+        // Continue mode: the late job is abandoned at its deadline. (The
+        // column map is rebuilt from scratch at every dispatch, so no
+        // placement cleanup is needed here.)
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  /// Gap to the next release after the current one: exactly T_i for
+  /// periodic tasks; T_i plus a seeded uniform jitter for sporadic ones
+  /// (T_i is the minimum inter-arrival time, paper Section 2).
+  [[nodiscard]] Ticks inter_arrival(std::size_t i) {
+    const Ticks period = ts_[i].period;
+    if (config_.arrivals == ArrivalModel::kPeriodic) return period;
+    const double jitter = arrival_rng_[i].uniform(
+        0.0, std::max(0.0, config_.sporadic_jitter));
+    return period + static_cast<Ticks>(jitter * static_cast<double>(period));
+  }
+
+  void release_jobs(Ticks now) {
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] != now) continue;
+      ActiveJob a;
+      a.job.task_index = i;
+      a.job.sequence = sequence_[i]++;
+      a.job.release = now;
+      a.job.abs_deadline = now + ts_[i].deadline;
+      a.job.remaining = ts_[i].wcet;
+      a.job.area = ts_[i].area;
+      active_.push_back(a);
+      next_release_[i] += inter_arrival(i);
+      ++result_.jobs_released;
+    }
+  }
+
+  /// Charges a reconfiguration (placement) of job `a`.
+  void charge_placement(ActiveJob& a, bool relocated) {
+    ++result_.placements;
+    if (relocated) ++result_.relocations;
+    a.reconfig_remaining =
+        config_.reconfig_cost_per_column * static_cast<Ticks>(a.job.area);
+  }
+
+  /// Recomputes the running set at `now` per the configured scheduler and
+  /// placement mode (paper Definitions 1-2; DESIGN.md §4).
+  void dispatch(Ticks now) {
+    ++result_.dispatches;
+    PriorityLess less{config_.scheduler == SchedulerKind::kEdfUs ? &heavy_
+                                                                 : nullptr};
+    std::sort(active_.begin(), active_.end(),
+              [&](const ActiveJob& a, const ActiveJob& b) {
+                return less(a, b);
+              });
+
+    if (config_.placement == PlacementMode::kUnrestrictedMigration) {
+      dispatch_migration();
+    } else {
+      dispatch_contiguous();
+    }
+
+    // Preemption accounting + was_running update.
+    Area occupied = 0;
+    for (ActiveJob& a : active_) {
+      if (a.was_running && !a.running && !a.job.finished()) {
+        ++result_.preemptions;
+      }
+      if (a.running) occupied += a.job.area;
+    }
+
+    if (config_.observer != nullptr || checker_ != nullptr) {
+      notify_observers(now, occupied);
+    }
+  }
+
+  /// Unrestricted migration: admission is area-only. Columns are virtual;
+  /// for trace/inspection purposes running jobs are compacted left in
+  /// priority order (free defragmentation, as the paper assumes).
+  void dispatch_migration() {
+    const bool fkf = config_.scheduler == SchedulerKind::kEdfFkF;
+    Area used = 0;
+    Area cursor = 0;
+    for (ActiveJob& a : active_) {
+      const bool fits = used + a.job.area <= device_.width;
+      if (!fits && fkf) {
+        // EDF-FkF runs the maximal *prefix* that fits: stop at the first
+        // job that does not, even if later jobs would.
+        mark_not_running_from(&a);
+        break;
+      }
+      if (!fits) {
+        a.running = false;
+        continue;
+      }
+      used += a.job.area;
+      const placement::Interval iv{cursor, cursor + a.job.area};
+      cursor += a.job.area;
+      if (!a.running) {
+        // Entering the running set: one reconfiguration (zero-cost under the
+        // paper's assumptions unless configured otherwise).
+        charge_placement(a, a.has_columns && !(a.columns == iv));
+      } else if (a.has_columns && !(a.columns == iv)) {
+        // Stayed running but compacted: free migration under the paper's
+        // unrestricted-migration assumption.
+        ++result_.relocations;
+      }
+      a.columns = iv;
+      a.has_columns = true;
+      a.running = true;
+    }
+  }
+
+  void mark_not_running_from(ActiveJob* first) {
+    for (ActiveJob* p = first; p != active_.data() + active_.size(); ++p) {
+      p->running = false;
+    }
+  }
+
+  /// Contiguous placement without live migration: running jobs keep their
+  /// exact columns; anyone else needs a fresh contiguous gap (a new
+  /// reconfiguration). See DESIGN.md §4.
+  void dispatch_contiguous() {
+    const bool fkf = config_.scheduler == SchedulerKind::kEdfFkF;
+    map_.clear();
+    for (ActiveJob& a : active_) {
+      bool placed = false;
+      bool relocated = false;
+      const bool keep = a.running && a.has_columns && map_.is_free(a.columns);
+      if (keep) {
+        map_.allocate(a.columns);
+        placed = true;
+      } else if (const auto gap =
+                     map_.find_gap(a.job.area, config_.strategy)) {
+        relocated = a.has_columns && !(a.columns == *gap);
+        map_.allocate(*gap);
+        a.columns = *gap;
+        a.has_columns = true;
+        placed = true;
+      }
+
+      if (placed) {
+        if (!keep) charge_placement(a, relocated);
+        a.running = true;
+        continue;
+      }
+
+      if (map_.fits_by_area(a.job.area)) {
+        ++result_.fragmentation_rejections;
+      }
+      a.running = false;
+      if (fkf) {
+        // First-k-Fit: the first unplaceable job blocks the rest of the
+        // queue.
+        mark_not_running_from(&a);
+        break;
+      }
+    }
+    // Jobs that lost the dispatch keep no columns (their configuration is
+    // considered overwritten; resuming costs a fresh reconfiguration).
+    for (ActiveJob& a : active_) {
+      if (!a.running) a.has_columns = false;
+    }
+  }
+
+  void notify_observers(Ticks now, Area occupied) {
+    snapshot_jobs_.clear();
+    snapshot_running_.clear();
+    snapshot_jobs_.reserve(active_.size());
+    snapshot_running_.reserve(active_.size());
+    for (const ActiveJob& a : active_) {
+      snapshot_jobs_.push_back(a.job);
+      snapshot_running_.push_back(a.running ? 1 : 0);
+    }
+    DispatchSnapshot snap;
+    snap.now = now;
+    snap.active = snapshot_jobs_;
+    snap.running = snapshot_running_;
+    snap.occupied = occupied;
+    if (config_.observer != nullptr) {
+      config_.observer->on_dispatch(snap, ts_, device_);
+    }
+    if (checker_ != nullptr) {
+      checker_->on_dispatch(snap, ts_, device_);
+    }
+  }
+
+  [[nodiscard]] Ticks next_event_time(Ticks now, Ticks horizon) const {
+    Ticks next = horizon;
+    for (const Ticks r : next_release_) next = std::min(next, r);
+    for (const ActiveJob& a : active_) {
+      if (a.running) {
+        next = std::min(next, now + a.reconfig_remaining + a.job.remaining);
+      }
+      if (!a.job.finished() && a.job.abs_deadline > now) {
+        next = std::min(next, a.job.abs_deadline);
+      }
+    }
+    // Releases, unfinished completions and surviving deadlines all lie
+    // strictly after `now`; run() asserts this.
+    return next;
+  }
+
+  void advance(Ticks now, Ticks next) {
+    const Ticks dt = next - now;
+    Area occupied = 0;
+    for (ActiveJob& a : active_) {
+      if (!a.running) continue;
+      occupied += a.job.area;
+      Ticks t = now;
+      Ticks left = dt;
+      const Ticks stall = std::min(left, a.reconfig_remaining);
+      if (stall > 0) {
+        a.reconfig_remaining -= stall;
+        record_trace(a, t, t + stall, /*reconfiguring=*/true);
+        t += stall;
+        left -= stall;
+      }
+      const Ticks exec = std::min(left, a.job.remaining);
+      if (exec > 0) {
+        a.job.remaining -= exec;
+        record_trace(a, t, t + exec, /*reconfiguring=*/false);
+      }
+    }
+    result_.busy_area_time +=
+        static_cast<std::int64_t>(occupied) * static_cast<std::int64_t>(dt);
+  }
+
+  void record_trace(const ActiveJob& a, Ticks begin, Ticks end,
+                    bool reconfiguring) {
+    if (!config_.record_trace || begin >= end) return;
+    TraceSegment seg;
+    seg.task_index = a.job.task_index;
+    seg.sequence = a.job.sequence;
+    seg.begin = begin;
+    seg.end = end;
+    seg.col_lo = a.columns.lo;
+    seg.col_hi = a.columns.hi;
+    seg.reconfiguring = reconfiguring;
+    result_.trace.add(seg);
+  }
+
+  void reap_completed() {
+    for (std::size_t i = 0; i < active_.size();) {
+      ActiveJob& a = active_[i];
+      if (a.running && a.job.finished() && a.reconfig_remaining == 0) {
+        ++result_.jobs_completed;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      a.was_running = a.running;
+      ++i;
+    }
+  }
+
+  const TaskSet& ts_;
+  Device device_;
+  SimConfig config_;
+  placement::ColumnMap map_;
+  std::vector<bool> heavy_;
+
+  std::vector<Ticks> next_release_;
+  std::vector<std::uint64_t> sequence_;
+  std::vector<Xoshiro256ss> arrival_rng_;  ///< per-task sporadic streams
+  std::vector<ActiveJob> active_;
+
+  std::vector<Job> snapshot_jobs_;
+  std::vector<std::uint8_t> snapshot_running_;
+
+  std::unique_ptr<InvariantChecker> checker_;
+
+  SimResult result_;
+};
+
+}  // namespace
+
+Ticks default_horizon(const TaskSet& ts, const SimConfig& config) {
+  if (config.horizon > 0) return config.horizon;
+  if (ts.empty()) return 1;
+  const Ticks cap = static_cast<Ticks>(config.horizon_periods) *
+                    std::max<Ticks>(ts.max_period(), 1);
+  const auto hp = ts.hyperperiod();
+  Ticks horizon = hp ? std::min(*hp, cap) : cap;
+  if (!config.offsets.empty()) {
+    const Ticks max_offset =
+        *std::max_element(config.offsets.begin(), config.offsets.end());
+    horizon += max_offset;
+  }
+  return std::max<Ticks>(horizon, 1);
+}
+
+SimResult simulate(const TaskSet& ts, Device device, const SimConfig& config) {
+  Engine engine(ts, device, config);
+  return engine.run();
+}
+
+const char* to_string(SchedulerKind k) noexcept {
+  switch (k) {
+    case SchedulerKind::kEdfNf:
+      return "EDF-NF";
+    case SchedulerKind::kEdfFkF:
+      return "EDF-FkF";
+    case SchedulerKind::kEdfUs:
+      return "EDF-US";
+  }
+  return "?";
+}
+
+const char* to_string(PlacementMode m) noexcept {
+  switch (m) {
+    case PlacementMode::kUnrestrictedMigration:
+      return "unrestricted-migration";
+    case PlacementMode::kContiguousNoMigration:
+      return "contiguous-no-migration";
+  }
+  return "?";
+}
+
+const char* to_string(ArrivalModel m) noexcept {
+  switch (m) {
+    case ArrivalModel::kPeriodic:
+      return "periodic";
+    case ArrivalModel::kSporadic:
+      return "sporadic";
+  }
+  return "?";
+}
+
+}  // namespace reconf::sim

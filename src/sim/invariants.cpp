@@ -1,0 +1,69 @@
+#include "sim/invariants.hpp"
+
+namespace reconf::sim {
+
+void InvariantChecker::violate(Ticks now, const std::string& what) {
+  if (violations_.size() < 64) {
+    violations_.push_back("t=" + std::to_string(now) + ": " + what);
+  }
+}
+
+void InvariantChecker::on_dispatch(const DispatchSnapshot& snap,
+                                   const TaskSet& ts, Device device) {
+  ++dispatches_;
+
+  Area occupied = 0;
+  bool any_waiting = false;
+  for (std::size_t i = 0; i < snap.active.size(); ++i) {
+    if (snap.running[i] != 0) {
+      occupied += snap.active[i].area;
+    } else {
+      any_waiting = true;
+    }
+  }
+
+  if (occupied != snap.occupied) {
+    violate(snap.now, "snapshot occupied area is inconsistent");
+  }
+  if (occupied > device.width) {
+    violate(snap.now, "occupied area exceeds A(H)");
+  }
+
+  if (scheduler_ == SchedulerKind::kEdfFkF) {
+    bool seen_waiting = false;
+    for (std::size_t i = 0; i < snap.running.size(); ++i) {
+      if (snap.running[i] == 0) {
+        seen_waiting = true;
+      } else if (seen_waiting) {
+        violate(snap.now, "EDF-FkF prefix property violated");
+        break;
+      }
+    }
+  }
+
+  if (placement_ != PlacementMode::kUnrestrictedMigration) return;
+
+  if (scheduler_ == SchedulerKind::kEdfFkF && any_waiting) {
+    const Area bound = device.width - (ts.max_area() - 1);
+    if (occupied < bound) {
+      violate(snap.now, "Lemma 1 global-alpha bound violated (occupied " +
+                            std::to_string(occupied) + " < " +
+                            std::to_string(bound) + ")");
+    }
+  }
+
+  if (scheduler_ == SchedulerKind::kEdfNf) {
+    for (std::size_t i = 0; i < snap.active.size(); ++i) {
+      if (snap.running[i] != 0) continue;
+      const Area bound = device.width - (snap.active[i].area - 1);
+      if (occupied < bound) {
+        violate(snap.now, "Lemma 2 interval-alpha bound violated (occupied " +
+                              std::to_string(occupied) + " < " +
+                              std::to_string(bound) + ")");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace reconf::sim

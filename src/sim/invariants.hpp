@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/observer.hpp"
+
+namespace reconf::sim {
+
+/// Standalone observer that validates, at every dispatch, the structural
+/// properties the paper's analysis rests on:
+///
+///  * the area cap Σ A_i(running) ≤ A(H);
+///  * EDF-FkF's prefix property (Definition 1);
+///  * Lemma 1 — EDF-FkF is global-α-work-conserving with
+///    α = 1 − (A_max − 1)/A(H): whenever jobs wait, occupied area is at
+///    least A(H) − (A_max − 1);
+///  * Lemma 2 — EDF-NF is interval-α-work-conserving: while a job J_k with
+///    area A_k waits, occupied area is at least A(H) − (A_k − 1).
+///
+/// The lemma checks apply only in the paper's unrestricted-migration model;
+/// in placement-constrained mode fragmentation legitimately breaks them, so
+/// only the cap and prefix checks run there.
+///
+/// Same checks as SimConfig::check_invariants, exposed as an observer so
+/// property tests can attach it selectively and inspect violations.
+class InvariantChecker final : public DispatchObserver {
+ public:
+  InvariantChecker(SchedulerKind scheduler, PlacementMode placement)
+      : scheduler_(scheduler), placement_(placement) {}
+
+  void on_dispatch(const DispatchSnapshot& snapshot, const TaskSet& ts,
+                   Device device) override;
+
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+  [[nodiscard]] std::uint64_t dispatches_seen() const noexcept {
+    return dispatches_;
+  }
+
+ private:
+  void violate(Ticks now, const std::string& what);
+
+  SchedulerKind scheduler_;
+  PlacementMode placement_;
+  std::vector<std::string> violations_;
+  std::uint64_t dispatches_ = 0;
+};
+
+}  // namespace reconf::sim

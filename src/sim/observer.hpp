@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "task/job.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::sim {
+
+/// Snapshot handed to observers at every dispatch, after the running set has
+/// been selected and (re)placed.
+struct DispatchSnapshot {
+  Ticks now = 0;
+  /// Active jobs in scheduler priority order (EDF or EDF-US order).
+  std::span<const Job> active;
+  /// running[i] != 0 iff active[i] executes (or reconfigures) now.
+  /// (uint8 rather than bool so it can be a span over contiguous storage.)
+  std::span<const std::uint8_t> running;
+  /// Σ areas of running jobs.
+  Area occupied = 0;
+};
+
+/// Hook for trace-level property checks and instrumentation.
+class DispatchObserver {
+ public:
+  virtual ~DispatchObserver() = default;
+  virtual void on_dispatch(const DispatchSnapshot& snapshot,
+                           const TaskSet& ts, Device device) = 0;
+};
+
+}  // namespace reconf::sim

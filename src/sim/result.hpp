@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+
+namespace reconf::sim {
+
+struct MissInfo {
+  std::size_t task_index = 0;
+  std::uint64_t sequence = 0;
+  Ticks deadline = 0;
+};
+
+struct SimResult {
+  /// True when no deadline with d ≤ horizon was missed. The paper uses this
+  /// (on synchronous release) as a coarse *upper bound* on schedulability:
+  /// a miss proves unschedulability of that release pattern; absence of
+  /// misses proves nothing about other release offsets.
+  bool schedulable = true;
+
+  Ticks horizon = 0;
+  bool horizon_was_hyperperiod = false;
+
+  std::uint64_t jobs_released = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t placements = 0;   ///< job (re)configurations onto the fabric
+  std::uint64_t relocations = 0;  ///< placements at a different position
+  std::uint64_t dispatches = 0;
+
+  /// Placement-constrained mode: scheduling points where a job fit by area
+  /// but no contiguous gap existed — the fragmentation loss the paper's
+  /// future work asks about.
+  std::uint64_t fragmentation_rejections = 0;
+
+  /// ∫ occupied-area dt over the run (ticks·columns): total system work plus
+  /// reconfiguration occupancy.
+  std::int64_t busy_area_time = 0;
+
+  std::optional<MissInfo> first_miss;
+  std::vector<std::string> invariant_violations;
+  Trace trace;  ///< populated when SimConfig::record_trace
+
+  /// Time-averaged occupied fraction of the device.
+  [[nodiscard]] double average_occupancy(Area device_width) const {
+    if (horizon <= 0 || device_width <= 0) return 0.0;
+    return static_cast<double>(busy_area_time) /
+           (static_cast<double>(horizon) * static_cast<double>(device_width));
+  }
+};
+
+}  // namespace reconf::sim

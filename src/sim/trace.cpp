@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace reconf::sim {
+
+void Trace::add(const TraceSegment& seg) {
+  RECONF_EXPECTS(seg.begin < seg.end);
+  // Merge with the previous segment of the same job when contiguous in time
+  // and placement (dispatches that change nothing for this job).
+  if (!segments_.empty()) {
+    TraceSegment& last = segments_.back();
+    if (last.task_index == seg.task_index && last.sequence == seg.sequence &&
+        last.end == seg.begin && last.col_lo == seg.col_lo &&
+        last.col_hi == seg.col_hi && last.reconfiguring == seg.reconfiguring) {
+      last.end = seg.end;
+      return;
+    }
+  }
+  segments_.push_back(seg);
+}
+
+Ticks Trace::time_work(std::size_t task_index) const {
+  Ticks total = 0;
+  for (const TraceSegment& s : segments_) {
+    if (s.task_index == task_index && !s.reconfiguring) {
+      total += s.end - s.begin;
+    }
+  }
+  return total;
+}
+
+std::int64_t Trace::system_work(std::size_t task_index) const {
+  std::int64_t total = 0;
+  for (const TraceSegment& s : segments_) {
+    if (s.task_index == task_index && !s.reconfiguring) {
+      total += static_cast<std::int64_t>(s.end - s.begin) *
+               (s.col_hi - s.col_lo);
+    }
+  }
+  return total;
+}
+
+std::string Trace::render_gantt(const TaskSet& ts, Ticks horizon,
+                                int columns) const {
+  RECONF_EXPECTS(columns > 0 && horizon > 0);
+  std::ostringstream os;
+  const double bucket =
+      static_cast<double>(horizon) / static_cast<double>(columns);
+  for (std::size_t k = 0; k < ts.size(); ++k) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const TraceSegment& s : segments_) {
+      if (s.task_index != k) continue;
+      const int b0 = std::clamp(
+          static_cast<int>(static_cast<double>(s.begin) / bucket), 0,
+          columns - 1);
+      const int b1 = std::clamp(
+          static_cast<int>((static_cast<double>(s.end) - 1.0) / bucket), b0,
+          columns - 1);
+      for (int b = b0; b <= b1; ++b) {
+        row[static_cast<std::size_t>(b)] = s.reconfiguring ? '~' : '#';
+      }
+    }
+    const std::string name = ts[k].name.empty()
+                                 ? "tau" + std::to_string(k + 1)
+                                 : ts[k].name;
+    os << name;
+    os << std::string(name.size() < 10 ? 10 - name.size() : 1, ' ');
+    os << '|' << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace reconf::sim

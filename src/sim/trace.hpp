@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::sim {
+
+/// One maximal interval during which a job executed at a fixed placement.
+struct TraceSegment {
+  std::size_t task_index = 0;
+  std::uint64_t sequence = 0;
+  Ticks begin = 0;
+  Ticks end = 0;
+  Area col_lo = 0;
+  Area col_hi = 0;
+  bool reconfiguring = false;  ///< stalled in reconfiguration, not executing
+};
+
+/// Execution trace of one simulation run.
+class Trace {
+ public:
+  void add(const TraceSegment& seg);
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// Total executed time of a task across the trace (reconfiguration stalls
+  /// excluded) — W_i^T in the paper's notation, over [0, horizon).
+  [[nodiscard]] Ticks time_work(std::size_t task_index) const;
+
+  /// Σ over segments of (duration × area) — W_i^S in the paper's notation.
+  [[nodiscard]] std::int64_t system_work(std::size_t task_index) const;
+
+  /// ASCII Gantt chart: one row per task, time bucketed into `columns`
+  /// buckets. '#' executing, '~' reconfiguring, '.' idle.
+  [[nodiscard]] std::string render_gantt(const TaskSet& ts, Ticks horizon,
+                                         int columns = 72) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace reconf::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace reconf {
+
+/// A single invocation J_k^j of a task: released at `release`, must finish
+/// `wcet` ticks of execution by `abs_deadline`.
+struct Job {
+  std::size_t task_index = 0;
+  std::uint64_t sequence = 0;  ///< j-th job of its task (0-based)
+  Ticks release = 0;
+  Ticks abs_deadline = 0;
+  Ticks remaining = 0;  ///< execution time still owed
+  Area area = 0;
+
+  [[nodiscard]] bool finished() const noexcept { return remaining == 0; }
+};
+
+/// Deterministic EDF queue order (Definition 1/2): non-decreasing absolute
+/// deadline, ties by release time, then by task index, then sequence.
+[[nodiscard]] inline bool edf_before(const Job& a, const Job& b) noexcept {
+  if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
+  if (a.release != b.release) return a.release < b.release;
+  if (a.task_index != b.task_index) return a.task_index < b.task_index;
+  return a.sequence < b.sequence;
+}
+
+}  // namespace reconf

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "math/rational.hpp"
+
+namespace reconf {
+
+/// A periodic or sporadic hardware task τ = (C, D, T, A):
+///   wcet     C — worst-case execution time (ticks)
+///   deadline D — relative deadline (ticks)
+///   period   T — period / minimum inter-arrival time (ticks)
+///   area     A — contiguous columns occupied on the 1D device
+///
+/// Matches Section 2 of the paper exactly; the paper's real-valued C/D/T are
+/// mapped to integer ticks (default 100 ticks per paper unit, making all the
+/// paper's two-decimal values exact).
+struct Task {
+  Ticks wcet = 0;
+  Ticks deadline = 0;
+  Ticks period = 0;
+  Area area = 0;
+  std::string name;
+
+  /// C/T as double (the paper's time utilization of one task).
+  [[nodiscard]] double time_utilization() const {
+    RECONF_EXPECTS(period > 0);
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+
+  /// C/T exactly.
+  [[nodiscard]] math::Rational time_utilization_exact() const {
+    RECONF_EXPECTS(period > 0);
+    return {wcet, period};
+  }
+
+  /// A*C/T as double (the paper's system utilization of one task).
+  [[nodiscard]] double system_utilization() const {
+    return time_utilization() * static_cast<double>(area);
+  }
+
+  /// C/D (density); equals time utilization for implicit deadlines.
+  [[nodiscard]] double density() const {
+    RECONF_EXPECTS(deadline > 0);
+    return static_cast<double>(wcet) / static_cast<double>(deadline);
+  }
+
+  [[nodiscard]] bool implicit_deadline() const noexcept {
+    return deadline == period;
+  }
+  [[nodiscard]] bool constrained_deadline() const noexcept {
+    return deadline <= period;
+  }
+
+  /// Structural sanity: positive parameters. (Feasibility checks such as
+  /// C <= D or A <= A(H) live in `validate_for_device`.)
+  [[nodiscard]] bool well_formed() const noexcept {
+    return wcet > 0 && deadline > 0 && period > 0 && area > 0;
+  }
+};
+
+/// Convenience factory from paper units: make_task(1.26, 7, 7, 9).
+[[nodiscard]] inline Task make_task(double wcet_units, double deadline_units,
+                                    double period_units, Area area,
+                                    std::string name = {},
+                                    Ticks scale = kTicksPerUnit) {
+  Task t;
+  t.wcet = ticks_from_units(wcet_units, scale);
+  t.deadline = ticks_from_units(deadline_units, scale);
+  t.period = ticks_from_units(period_units, scale);
+  t.area = area;
+  t.name = std::move(name);
+  RECONF_ENSURES(t.well_formed());
+  return t;
+}
+
+}  // namespace reconf

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "area2d/gen2d.hpp"
+#include "area2d/grid_map.hpp"
+#include "area2d/sim2d.hpp"
+#include "area2d/task2d.hpp"
+
+namespace reconf::area2d {
+namespace {
+
+// ------------------------------------------------------------- geometry --
+TEST(Rect2D, IntersectionAndContainment) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{3, 3, 2, 2};
+  const Rect c{4, 0, 2, 2};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));  // edge-adjacent, half-open
+  EXPECT_TRUE(a.contains(Rect{1, 1, 2, 2}));
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_EQ(a.cells(), 16);
+}
+
+TEST(Rect2D, WithinDevice) {
+  const Device2D dev{10, 8};
+  EXPECT_TRUE((Rect{0, 0, 10, 8}).within(dev));
+  EXPECT_FALSE((Rect{1, 0, 10, 8}).within(dev));
+  EXPECT_FALSE((Rect{0, 0, 0, 1}).within(dev));
+}
+
+// -------------------------------------------------------------- GridMap --
+TEST(GridMap2D, AllocateReleaseRoundTrip) {
+  GridMap map(Device2D{10, 10});
+  EXPECT_EQ(map.free_cells(), 100);
+  map.allocate(Rect{2, 3, 4, 5});
+  EXPECT_EQ(map.free_cells(), 80);
+  EXPECT_FALSE(map.is_free(Rect{2, 3, 1, 1}));
+  EXPECT_TRUE(map.is_free(Rect{0, 0, 2, 10}));
+  map.release(Rect{2, 3, 4, 5});
+  EXPECT_EQ(map.free_cells(), 100);
+  EXPECT_TRUE(map.is_free(Rect{0, 0, 10, 10}));
+}
+
+TEST(GridMap2D, IntegralImageMatchesBruteForce) {
+  GridMap map(Device2D{12, 9});
+  map.allocate(Rect{0, 0, 3, 3});
+  map.allocate(Rect{5, 2, 4, 4});
+  map.allocate(Rect{9, 7, 3, 2});
+  // Brute-force every subrectangle's freeness against is_free().
+  for (Area y = 0; y < 9; ++y) {
+    for (Area x = 0; x < 12; ++x) {
+      for (Area h = 1; y + h <= 9; h += 3) {
+        for (Area w = 1; x + w <= 12; w += 3) {
+          const Rect r{x, y, w, h};
+          bool brute = true;
+          for (Area yy = y; yy < y + h && brute; ++yy) {
+            for (Area xx = x; xx < x + w && brute; ++xx) {
+              const bool occ = (xx < 3 && yy < 3) ||
+                               (xx >= 5 && xx < 9 && yy >= 2 && yy < 6) ||
+                               (xx >= 9 && yy >= 7);
+              brute = !occ;
+            }
+          }
+          ASSERT_EQ(map.is_free(r), brute) << x << "," << y << " " << w
+                                           << "x" << h;
+        }
+      }
+    }
+  }
+}
+
+TEST(GridMap2D, BottomLeftPicksLowestThenLeftmost) {
+  GridMap map(Device2D{10, 10});
+  map.allocate(Rect{0, 0, 10, 2});  // block the bottom strip
+  const auto pos = map.find_position(3, 3, Strategy2D::kBottomLeft);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, (Rect{0, 2, 3, 3}));
+}
+
+TEST(GridMap2D, ContactPerimeterPrefersCorners) {
+  GridMap map(Device2D{10, 10});
+  const auto pos = map.find_position(3, 3, Strategy2D::kContactPerimeter);
+  ASSERT_TRUE(pos.has_value());
+  // On an empty device a corner position touches two borders.
+  const bool corner = (pos->x == 0 || pos->right() == 10) &&
+                      (pos->y == 0 || pos->top() == 10);
+  EXPECT_TRUE(corner) << pos->x << "," << pos->y;
+}
+
+TEST(GridMap2D, DetectsFragmentation) {
+  GridMap map(Device2D{10, 10});
+  // Occupy a plus-shaped region leaving four 4x4-ish corners... actually
+  // occupy a cross: center row and column strips.
+  map.allocate(Rect{0, 4, 10, 2});
+  map.allocate(Rect{4, 0, 2, 4});
+  map.allocate(Rect{4, 6, 2, 4});
+  // 64 cells free in four 4x4 corners: an 8x4 block fits by area (32 <= 64)
+  // but nowhere contiguously.
+  EXPECT_TRUE(map.fits_by_area(32));
+  EXPECT_FALSE(map.fits_anywhere(8, 4));
+  EXPECT_TRUE(map.fits_anywhere(4, 4));
+  EXPECT_GT(map.fragmentation(), 0.0);
+}
+
+TEST(GridMap2D, FragmentationZeroWhenEmptyOrSquareCoverable) {
+  GridMap map(Device2D{8, 8});
+  EXPECT_DOUBLE_EQ(map.fragmentation(), 0.0);  // 8x8 square covers all
+  map.allocate(Rect{0, 0, 8, 8});
+  EXPECT_DOUBLE_EQ(map.fragmentation(), 0.0);  // full: no free space
+}
+
+TEST(GridMap2D, ClearRestores) {
+  GridMap map(Device2D{6, 6});
+  map.allocate(Rect{0, 0, 6, 3});
+  map.clear();
+  EXPECT_EQ(map.free_cells(), 36);
+  EXPECT_TRUE(map.is_free(Rect{0, 0, 6, 6}));
+}
+
+// --------------------------------------------------------------- Task2D --
+TEST(TaskSet2D, AggregatesAndRelaxation) {
+  const TaskSet2D ts({
+      make_task2d(2, 5, 5, 3, 4, "a"),   // cells 12, us 4.8
+      make_task2d(3, 10, 10, 5, 2, "b"), // cells 10, us 3.0
+  });
+  EXPECT_EQ(ts.max_cells(), 12);
+  EXPECT_NEAR(ts.time_utilization(), 0.7, 1e-12);
+  EXPECT_NEAR(ts.system_utilization_cells(), 7.8, 1e-12);
+
+  const TaskSet flat = ts.to_1d_relaxation();
+  EXPECT_EQ(flat[0].area, 12);
+  EXPECT_EQ(flat[1].area, 10);
+  EXPECT_EQ(flat[0].wcet, ts[0].wcet);
+  EXPECT_EQ(to_1d_relaxation(Device2D{10, 10}).width, 100);
+}
+
+// ---------------------------------------------------------------- sim2d --
+TEST(Sim2D, SingleTaskMeetsDeadlines) {
+  const TaskSet2D ts({make_task2d(2, 5, 5, 4, 4)});
+  Sim2DConfig cfg;
+  cfg.horizon = 1500;
+  const auto r = simulate2d(ts, Device2D{10, 10}, cfg);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.jobs_released, 3u);
+  EXPECT_EQ(r.jobs_completed, 3u);
+  EXPECT_EQ(r.busy_cell_time, 3 * 200 * 16);
+}
+
+TEST(Sim2D, OversizedRectangleMissesImmediately) {
+  const TaskSet2D ts({make_task2d(1, 5, 5, 11, 2)});
+  const auto r = simulate2d(ts, Device2D{10, 10});
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(Sim2D, TwoRectanglesShareTheFabric) {
+  // 6x10 and 4x10 tile the 10x10 device exactly.
+  const TaskSet2D ts({make_task2d(3, 5, 5, 6, 10), make_task2d(3, 5, 5, 4, 10)});
+  Sim2DConfig cfg;
+  cfg.horizon = 500;
+  const auto r = simulate2d(ts, Device2D{10, 10}, cfg);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.busy_cell_time, 300 * 100);
+}
+
+TEST(Sim2D, FragmentationBlocksAreaFeasibleJob) {
+  // τ1 and τ2 occupy two 4x10 columns with a 2-wide gap between them is not
+  // how bottom-left packs — instead craft: τ1 6x6 and τ2 6x6 cannot coexist
+  // on 10x10 (by area 72 <= 100 but no two 6x6 disjoint positions… they do
+  // fit: (0,0) and (... 6+6=12 > 10 horizontally, vertically also 12 > 10,
+  // diagonal impossible for axis-aligned). So τ2 waits despite area fitting.
+  const TaskSet2D ts({make_task2d(2, 5, 5, 6, 6), make_task2d(2, 5, 5, 6, 6)});
+  Sim2DConfig cfg;
+  cfg.horizon = 500;
+  cfg.stop_on_first_miss = false;
+  const auto r = simulate2d(ts, Device2D{10, 10}, cfg);
+  EXPECT_TRUE(r.schedulable);  // serialized: 200+200 < 500 deadline ticks
+  EXPECT_GT(r.fragmentation_rejections, 0u);
+}
+
+TEST(Sim2D, FkFBlocksBehindUnplaceableHead) {
+  // Same-deadline queue: wide head τ1 (7x7) runs [0,500); τ2 (7x7) cannot
+  // be placed concurrently, so under FkF it blocks τ3 (3x3) even though a
+  // 3x3 position is free. τ3 is tight (C=5.5 of D=10): it must start before
+  // t=450, so only NF's skip-ahead saves it; under FkF it waits until t=500
+  // and misses. τ2 itself has slack (C=2, runs [500,700) either way).
+  const TaskSet2D ts({
+      make_task2d(5.0, 10, 10, 7, 7),
+      make_task2d(2.0, 10, 10, 7, 7),
+      make_task2d(5.5, 10, 10, 3, 3),
+  });
+  Sim2DConfig nf;
+  nf.scheduler = Scheduler2D::kEdfNf;
+  const auto rn = simulate2d(ts, Device2D{10, 10}, nf);
+  EXPECT_TRUE(rn.schedulable);
+
+  Sim2DConfig fkf;
+  fkf.scheduler = Scheduler2D::kEdfFkF;
+  const auto rf = simulate2d(ts, Device2D{10, 10}, fkf);
+  EXPECT_FALSE(rf.schedulable);
+  ASSERT_TRUE(rf.first_miss.has_value());
+  EXPECT_EQ(rf.first_miss->task_index, 2u);
+}
+
+TEST(Sim2D, ReconfigCostDelaysAndCanMiss) {
+  const TaskSet2D tight({make_task2d(4.5, 5, 5, 4, 4)});
+  Sim2DConfig cfg;
+  cfg.reconfig_cost_per_cell = 4;  // 64-tick stall vs 50 ticks of slack
+  EXPECT_FALSE(simulate2d(tight, Device2D{10, 10}, cfg).schedulable);
+  cfg.reconfig_cost_per_cell = 2;  // 32-tick stall fits the slack
+  EXPECT_TRUE(simulate2d(tight, Device2D{10, 10}, cfg).schedulable);
+}
+
+TEST(Sim2D, RelaxationUpperBoundsPlacementOnDirectedCase) {
+  // The 1D unrestricted-migration relaxation admits schedules 2D placement
+  // cannot realize; on this fragmented scenario the relaxation stays
+  // schedulable under a load where 2D bottom-left also survives only by
+  // serialization. (Statistical comparison at scale: bench_2d.)
+  const TaskSet2D ts({make_task2d(2, 5, 5, 6, 6), make_task2d(2, 5, 5, 6, 6)});
+  const auto rel = ts.to_1d_relaxation();
+  EXPECT_EQ(rel.total_area(), 72);
+}
+
+// ---------------------------------------------------------------- gen2d --
+TEST(Gen2D, ProducesShapeAndDeterminism) {
+  GenRequest2D req;
+  req.profile.num_tasks = 8;
+  req.profile.side_max = 5;
+  req.seed = 7;
+  const auto a = generate2d(req);
+  const auto b = generate2d(req);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->size(), 8u);
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].wcet, (*b)[i].wcet);
+    EXPECT_GE((*a)[i].width, 1);
+    EXPECT_LE((*a)[i].width, 5);
+    EXPECT_LE((*a)[i].height, 5);
+    EXPECT_LE((*a)[i].wcet, (*a)[i].period);
+  }
+}
+
+TEST(Gen2D, HitsCellUtilizationTarget) {
+  GenRequest2D req;
+  req.profile.num_tasks = 10;
+  req.profile.side_max = 6;
+  req.target_system_util_cells = 30.0;
+  req.seed = 21;
+  const auto ts = generate2d_with_retries(req);
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_NEAR(ts->system_utilization_cells(), 30.0, req.target_tolerance);
+}
+
+}  // namespace
+}  // namespace reconf::area2d

@@ -1,0 +1,203 @@
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "math/bigint.hpp"
+#include "math/bigrational.hpp"
+
+namespace reconf::math {
+namespace {
+
+TEST(BigInt, ConstructsFromInt64Extremes) {
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(-1).to_string(), "-1");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).to_string(),
+            "9223372036854775807");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_string(),
+            "-9223372036854775808");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{123456789012345}, std::int64_t{-987654321},
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt b(v);
+    ASSERT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+  }
+}
+
+TEST(BigInt, FitsInt64Boundary) {
+  BigInt max64(std::numeric_limits<std::int64_t>::max());
+  BigInt beyond = max64 + BigInt(1);
+  EXPECT_FALSE(beyond.fits_int64());
+  BigInt min64(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(min64.fits_int64());
+  EXPECT_FALSE((min64 - BigInt(1)).fits_int64());
+}
+
+TEST(BigInt, FromStringParsesAndAgreesWithToString) {
+  const std::string s = "123456789012345678901234567890";
+  const BigInt b = BigInt::from_string(s);
+  EXPECT_EQ(b.to_string(), s);
+  EXPECT_EQ(BigInt::from_string("-42").to_string(), "-42");
+  EXPECT_EQ(BigInt::from_string("+0").to_string(), "0");
+  EXPECT_EQ(BigInt::from_string("-0").to_string(), "0");
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt big = BigInt::from_string("18446744073709551615");  // 2^64-1
+  EXPECT_EQ((big + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SignedAdditionSubtraction) {
+  const BigInt a(100);
+  const BigInt b(-250);
+  EXPECT_EQ((a + b).to_int64(), -150);
+  EXPECT_EQ((b + a).to_int64(), -150);
+  EXPECT_EQ((a - b).to_int64(), 350);
+  EXPECT_EQ((b - a).to_int64(), -350);
+  EXPECT_EQ((a - a).to_string(), "0");
+}
+
+TEST(BigInt, MultiplicationMatchesKnownProduct) {
+  const BigInt a = BigInt::from_string("123456789123456789");
+  const BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((a * BigInt(-1)).to_string(), "-123456789123456789");
+}
+
+TEST(BigInt, ShiftsAreInverse) {
+  BigInt x = BigInt::from_string("123456789012345678901234567890");
+  BigInt y = x;
+  y <<= 67;
+  y >>= 67;
+  EXPECT_EQ(x, y);
+  BigInt one(1);
+  one <<= 100;
+  EXPECT_EQ(one.to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ(one.bit_length(), 101u);
+}
+
+TEST(BigInt, ShiftRightDropsLowBits) {
+  BigInt x(0b1101);
+  x >>= 2;
+  EXPECT_EQ(x.to_int64(), 0b11);
+  BigInt y(7);
+  y >>= 10;
+  EXPECT_TRUE(y.is_zero());
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::from_string("100000000000000000000"), BigInt(1));
+  EXPECT_LT(BigInt::from_string("-100000000000000000000"), BigInt(-1));
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(7)).to_int64(), 7);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  const BigInt a = BigInt::from_string("123456789123456789") * BigInt(1000);
+  const BigInt b = BigInt::from_string("123456789123456789") * BigInt(64);
+  EXPECT_EQ(BigInt::gcd(a, b),
+            BigInt::from_string("123456789123456789") * BigInt(8));
+}
+
+TEST(BigInt, GcdRandomAgainstInt64) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::int64_t>(rng() % 1'000'000'000);
+    const auto b = static_cast<std::int64_t>(rng() % 1'000'000'000);
+    const std::int64_t expect = std::gcd(a, b);
+    EXPECT_EQ(BigInt::gcd(BigInt(a), BigInt(b)).to_int64(),
+              expect == 0 ? std::max(a, b) : expect);
+  }
+}
+
+TEST(BigInt, DivideExactUndoesMultiply) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = static_cast<std::int64_t>(rng() % 1'000'000'000) + 1;
+    const auto b = static_cast<std::int64_t>(rng() % 1'000'000'000) + 1;
+    const BigInt product = BigInt(a) * BigInt(b);
+    EXPECT_EQ(BigInt::divide_exact(product, BigInt(a)).to_int64(), b);
+    EXPECT_EQ(BigInt::divide_exact(product.negated(), BigInt(a)).to_int64(),
+              -b);
+  }
+}
+
+TEST(BigInt, ToDoubleApproximatesLargeValues) {
+  const BigInt x = BigInt::from_string("1000000000000000000000");  // 1e21
+  EXPECT_NEAR(x.to_double(), 1e21, 1e6);
+  EXPECT_NEAR(x.negated().to_double(), -1e21, 1e6);
+}
+
+TEST(BigRational, NormalizesAndCompares) {
+  const BigRational a(6, 8);
+  EXPECT_EQ(a, BigRational(3, 4));
+  EXPECT_LT(BigRational(1, 3), BigRational(1, 2));
+  EXPECT_EQ(BigRational(0, 5), BigRational(0));
+  EXPECT_LT(BigRational(-1, 2), BigRational(1, 3));
+}
+
+TEST(BigRational, ExactArithmetic) {
+  const BigRational a(1, 3);
+  const BigRational b(1, 6);
+  EXPECT_EQ(a + b, BigRational(1, 2));
+  EXPECT_EQ(a - b, BigRational(1, 6));
+  EXPECT_EQ(a * b, BigRational(1, 18));
+  EXPECT_EQ(a / b, BigRational(2));
+}
+
+TEST(BigRational, Table1KnifeEdgeEqualityIsExact) {
+  // Paper Table 1, DP at k=2: U_S = 2.76 and RHS = 2.76 exactly.
+  // 9*(126/700) + 6*(95/500) == 2*(1 - 95/500) + 6*(95/500)
+  const BigRational u1(126, 700);
+  const BigRational u2(95, 500);
+  const BigRational us = BigRational(9) * u1 + BigRational(6) * u2;
+  const BigRational rhs =
+      BigRational(2) * (BigRational(1) - u2) + BigRational(6) * u2;
+  EXPECT_EQ(us, rhs);  // double arithmetic cannot certify this equality
+  EXPECT_EQ(us, BigRational(69, 25));
+}
+
+TEST(BigRational, LongSumStaysExact) {
+  // Σ 1/k for k=1..30 has a huge denominator; compare against known value.
+  BigRational sum(0);
+  for (int k = 1; k <= 30; ++k) sum += BigRational(1, k);
+  // H_30 = 9304682830147/2329089562800.
+  EXPECT_EQ(sum, BigRational(BigInt::from_string("9304682830147"),
+                             BigInt::from_string("2329089562800")));
+  EXPECT_NEAR(sum.to_double(), 3.99498713, 1e-7);
+}
+
+TEST(BigRational, ToStringFormats) {
+  EXPECT_EQ(BigRational(3, 7).to_string(), "3/7");
+  EXPECT_EQ(BigRational(5).to_string(), "5");
+  EXPECT_EQ(BigRational(-3, 9).to_string(), "-1/3");
+}
+
+TEST(BigRational, FromRationalPreservesValue) {
+  const Rational r(95, 500);
+  EXPECT_EQ(BigRational(r), BigRational(19, 100));
+}
+
+TEST(BigRational, UnaryMinus) {
+  EXPECT_EQ(-BigRational(3, 4), BigRational(-3, 4));
+  EXPECT_EQ(-BigRational(0), BigRational(0));
+}
+
+}  // namespace
+}  // namespace reconf::math

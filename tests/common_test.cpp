@@ -1,0 +1,105 @@
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace reconf {
+namespace {
+
+TEST(Types, TickConversionRoundTripsPaperValues) {
+  EXPECT_EQ(ticks_from_units(1.26), 126);
+  EXPECT_EQ(ticks_from_units(0.95), 95);
+  EXPECT_EQ(ticks_from_units(7.0), 700);
+  EXPECT_DOUBLE_EQ(units_from_ticks(126), 1.26);
+  EXPECT_DOUBLE_EQ(units_from_ticks(95), 0.95);
+}
+
+TEST(Types, TickConversionHonorsCustomScale) {
+  EXPECT_EQ(ticks_from_units(2.5, 1000), 2500);
+  EXPECT_DOUBLE_EQ(units_from_ticks(2500, 1000), 2.5);
+}
+
+TEST(Types, TickConversionRoundsToNearest) {
+  EXPECT_EQ(ticks_from_units(0.004), 0);   // 0.4 ticks -> 0
+  EXPECT_EQ(ticks_from_units(0.006), 1);   // 0.6 ticks -> 1
+  EXPECT_EQ(ticks_from_units(-0.006), -1);
+}
+
+TEST(Types, DeviceValidity) {
+  EXPECT_TRUE(Device{10}.valid());
+  EXPECT_FALSE(Device{0}.valid());
+  EXPECT_FALSE(Device{-3}.valid());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, HandlesZeroIterations) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallbackPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  constexpr std::size_t kN = 4096;
+  auto run = [&](unsigned threads) {
+    std::vector<double> out(kN);
+    parallel_for(
+        kN, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+        threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double expect = run(1);
+  EXPECT_DOUBLE_EQ(run(2), expect);
+  EXPECT_DOUBLE_EQ(run(8), expect);
+}
+
+TEST(Env, Int64FallsBackWhenUnset) {
+  ::unsetenv("RECONF_TEST_KNOB");
+  EXPECT_EQ(env_int64("RECONF_TEST_KNOB", 42), 42);
+}
+
+TEST(Env, Int64ParsesValue) {
+  ::setenv("RECONF_TEST_KNOB", "1234", 1);
+  EXPECT_EQ(env_int64("RECONF_TEST_KNOB", 42), 1234);
+  ::unsetenv("RECONF_TEST_KNOB");
+}
+
+TEST(Env, Int64RejectsGarbage) {
+  ::setenv("RECONF_TEST_KNOB", "12x", 1);
+  EXPECT_EQ(env_int64("RECONF_TEST_KNOB", 7), 7);
+  ::unsetenv("RECONF_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace reconf

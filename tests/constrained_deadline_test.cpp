@@ -1,0 +1,166 @@
+// Constrained-deadline (D < T) coverage: the analytical paths the paper's
+// own experiments never exercise — GN1's N_i clamp and carry-in truncation,
+// GN2's λ_k = λ·max(1, T_k/D_k) scaling, BCL/BAK1/BAK2's density handling —
+// validated for soundness against simulation and for exact/double
+// agreement.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "gen/generator.hpp"
+#include "mp/mp_tests.hpp"
+#include "sim/engine.hpp"
+#include "task/io.hpp"
+
+namespace reconf {
+namespace {
+
+std::optional<TaskSet> constrained_sample(std::uint64_t seed, int n,
+                                          double us) {
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(n);
+  req.profile.deadline_ratio_min = 0.5;
+  req.profile.deadline_ratio_max = 0.95;
+  req.target_system_util = us;
+  req.seed = seed;
+  return gen::generate_with_retries(req);
+}
+
+struct CdCase {
+  std::uint64_t seed;
+  int num_tasks;
+  double target_us;
+};
+
+class ConstrainedSweep : public ::testing::TestWithParam<CdCase> {};
+
+TEST_P(ConstrainedSweep, Gn1AndGn2StaySoundForConstrainedDeadlines) {
+  const CdCase& c = GetParam();
+  const Device dev{100};
+  const auto ts = constrained_sample(c.seed, c.num_tasks, c.target_us);
+  if (!ts) GTEST_SKIP();
+  ASSERT_TRUE(ts->all_constrained_deadline());
+
+  const bool gn1 = analysis::gn1_test(*ts, dev).accepted();
+  const bool gn2 = analysis::gn2_test(*ts, dev).accepted();
+  if (!gn1 && !gn2) return;
+
+  sim::SimConfig cfg;
+  cfg.horizon_periods = 60;
+  cfg.scheduler = sim::SchedulerKind::kEdfNf;
+  EXPECT_TRUE(sim::simulate(*ts, dev, cfg).schedulable)
+      << "gn1=" << gn1 << " gn2=" << gn2 << "\n"
+      << io::to_string(*ts, dev);
+  if (gn2) {
+    cfg.scheduler = sim::SchedulerKind::kEdfFkF;
+    EXPECT_TRUE(sim::simulate(*ts, dev, cfg).schedulable)
+        << io::to_string(*ts, dev);
+  }
+}
+
+TEST_P(ConstrainedSweep, ExactAndDoubleAgreeForConstrainedDeadlines) {
+  const CdCase& c = GetParam();
+  const Device dev{100};
+  const auto ts = constrained_sample(c.seed ^ 0xCD, c.num_tasks, c.target_us);
+  if (!ts) GTEST_SKIP();
+
+  EXPECT_EQ(analysis::gn1_test(*ts, dev).accepted(),
+            analysis::gn1_test_exact(*ts, dev).accepted())
+      << io::to_string(*ts, dev);
+  EXPECT_EQ(analysis::gn2_test(*ts, dev).accepted(),
+            analysis::gn2_test_exact(*ts, dev).accepted())
+      << io::to_string(*ts, dev);
+}
+
+TEST_P(ConstrainedSweep, MpTestsStaySoundOnUnitAreaConstrainedSets) {
+  const CdCase& c = GetParam();
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(c.num_tasks);
+  req.profile.area_min = req.profile.area_max = 1;
+  req.profile.deadline_ratio_min = 0.5;
+  req.profile.deadline_ratio_max = 0.95;
+  req.target_system_util = std::min(3.0, c.target_us / 25.0);
+  req.target_tolerance = 0.05;
+  req.seed = c.seed ^ 0x3333;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  const mp::MpPlatform cpu{4};
+  const bool bcl = mp::bcl_test(*ts, cpu).accepted();
+  const bool bak1 = mp::bak1_test(*ts, cpu).accepted();
+  const bool bak2 = mp::bak2_test(*ts, cpu).accepted();
+  if (!bcl && !bak1 && !bak2) return;
+
+  // m identical processors == unit-area FPGA of width m.
+  sim::SimConfig cfg;
+  cfg.horizon_periods = 60;
+  cfg.scheduler = sim::SchedulerKind::kEdfNf;
+  EXPECT_TRUE(sim::simulate(*ts, Device{4}, cfg).schedulable)
+      << "bcl=" << bcl << " bak1=" << bak1 << " bak2=" << bak2 << "\n"
+      << io::to_string(*ts, Device{4});
+}
+
+std::vector<CdCase> cd_cases() {
+  std::vector<CdCase> cases;
+  for (const int n : {3, 8}) {
+    for (const double us : {15.0, 30.0, 50.0}) {
+      for (std::uint64_t s = 0; s < 8; ++s) {
+        cases.push_back({0xCD00 + s * 11 + static_cast<std::uint64_t>(n), n,
+                         us});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTasksets, ConstrainedSweep,
+                         ::testing::ValuesIn(cd_cases()),
+                         [](const ::testing::TestParamInfo<CdCase>& info) {
+                           const CdCase& c = info.param;
+                           return "n" + std::to_string(c.num_tasks) + "_us" +
+                                  std::to_string(static_cast<int>(c.target_us)) +
+                                  "_s" + std::to_string(c.seed & 0xFFFF);
+                         });
+
+// --------------------------------------------------------------- directed --
+TEST(ConstrainedDirected, Gn1CarryInTruncationWindow) {
+  // D_k smaller than every other period: N_i = 0 for all i, so W̄ reduces to
+  // min(C_i, D_k) — a pure carry-in window. Light carry-ins must pass.
+  const TaskSet ts({
+      make_task(0.5, 2, 10, 10),   // the short-deadline task under analysis
+      make_task(1.0, 15, 15, 20),  // carry-in only
+      make_task(2.0, 20, 20, 30),  // carry-in only
+  });
+  const auto r = analysis::gn1_test(ts, Device{100});
+  EXPECT_TRUE(r.accepted());
+}
+
+TEST(ConstrainedDirected, Gn2LambdaScalingRejectsDenseShortDeadline) {
+  // λ_k = λ·T_k/D_k ≥ C_k/D_k: a task with C close to D < T forces
+  // λ_k ≈ 1 for every candidate, leaving no slack fraction — GN2 must
+  // reject rather than divide by a vanishing (1 − λ_k).
+  const TaskSet ts({make_task(1.9, 2, 10, 50), make_task(1, 10, 10, 50)});
+  const auto r = analysis::gn2_test(ts, Device{100});
+  EXPECT_FALSE(r.accepted());
+  // And the simulator agrees it is genuinely hard: τ1 needs 95% of every
+  // window while τ2 blocks half the device… but EDF still makes it because
+  // they fit together (50+50 = 100). Document the actual behaviour:
+  const auto run = sim::simulate(ts, Device{100});
+  EXPECT_TRUE(run.schedulable);  // the bound is pessimistic here, not wrong
+}
+
+TEST(ConstrainedDirected, BclUsesDeadlineNotPeriodForSlack) {
+  // Same C and T, shrinking D must eventually flip BCL to reject.
+  const TaskSet loose({make_task(2, 10, 10, 1), make_task(2, 10, 10, 1),
+                       make_task(2, 10, 10, 1)});
+  const TaskSet tight({make_task(2, 2.2, 10, 1), make_task(2, 2.2, 10, 1),
+                       make_task(2, 2.2, 10, 1)});
+  EXPECT_TRUE(mp::bcl_test(loose, mp::MpPlatform{2}).accepted());
+  EXPECT_FALSE(mp::bcl_test(tight, mp::MpPlatform{2}).accepted());
+}
+
+}  // namespace
+}  // namespace reconf

@@ -1,0 +1,114 @@
+// Randomized consistency of the 2D occupancy grid: a reference
+// implementation (plain cell matrix) shadows GridMap through random
+// allocate/release/query sequences; every observable must agree. Also
+// checks the contracts of find_position across strategies.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "area2d/grid_map.hpp"
+#include "common/rng.hpp"
+
+namespace reconf::area2d {
+namespace {
+
+/// Brute-force shadow of GridMap.
+class ShadowGrid {
+ public:
+  ShadowGrid(Area w, Area h) : w_(w), h_(h), cells_(static_cast<std::size_t>(w) * h, false) {}
+
+  [[nodiscard]] bool is_free(const Rect& r) const {
+    for (Area y = r.y; y < r.top(); ++y) {
+      for (Area x = r.x; x < r.right(); ++x) {
+        if (cells_[idx(x, y)]) return false;
+      }
+    }
+    return true;
+  }
+  void set(const Rect& r, bool value) {
+    for (Area y = r.y; y < r.top(); ++y) {
+      for (Area x = r.x; x < r.right(); ++x) cells_[idx(x, y)] = value;
+    }
+  }
+  [[nodiscard]] std::int64_t free_cells() const {
+    std::int64_t n = 0;
+    for (const bool c : cells_) n += c ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] bool fits_anywhere(Area w, Area h) const {
+    for (Area y = 0; y + h <= h_; ++y) {
+      for (Area x = 0; x + w <= w_; ++x) {
+        if (is_free(Rect{x, y, w, h})) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(Area x, Area y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) +
+           static_cast<std::size_t>(x);
+  }
+  Area w_;
+  Area h_;
+  std::vector<bool> cells_;
+};
+
+class GridMapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridMapFuzz, AgreesWithShadowThroughRandomOperations) {
+  const Area W = 16;
+  const Area H = 12;
+  GridMap map(Device2D{W, H});
+  ShadowGrid shadow(W, H);
+  std::vector<Rect> live;
+
+  Xoshiro256ss rng(GetParam());
+  for (int op = 0; op < 400; ++op) {
+    const std::int64_t dice = rng.uniform_int(0, 9);
+    if (dice < 6) {  // try to allocate a random rect via find_position
+      const Area w = static_cast<Area>(rng.uniform_int(1, 6));
+      const Area h = static_cast<Area>(rng.uniform_int(1, 6));
+      const auto strategy = rng.uniform_int(0, 1) == 0
+                                ? Strategy2D::kBottomLeft
+                                : Strategy2D::kContactPerimeter;
+      const auto pos = map.find_position(w, h, strategy);
+      ASSERT_EQ(pos.has_value(), shadow.fits_anywhere(w, h))
+          << "fit disagreement at op " << op;
+      if (pos) {
+        ASSERT_EQ(pos->w, w);
+        ASSERT_EQ(pos->h, h);
+        ASSERT_TRUE(pos->within(map.device()));
+        ASSERT_TRUE(shadow.is_free(*pos)) << "chosen position not free";
+        map.allocate(*pos);
+        shadow.set(*pos, true);
+        live.push_back(*pos);
+      }
+    } else if (!live.empty()) {  // release a random live rect
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      map.release(live[pick]);
+      shadow.set(live[pick], false);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(map.free_cells(), shadow.free_cells()) << "op " << op;
+  }
+
+  // Random freeness probes at the end.
+  for (int probe = 0; probe < 100; ++probe) {
+    const Area w = static_cast<Area>(rng.uniform_int(1, 8));
+    const Area h = static_cast<Area>(rng.uniform_int(1, 8));
+    const Area x = static_cast<Area>(rng.uniform_int(0, W - w));
+    const Area y = static_cast<Area>(rng.uniform_int(0, H - h));
+    const Rect r{x, y, w, h};
+    ASSERT_EQ(map.is_free(r), shadow.is_free(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridMapFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace reconf::area2d

@@ -1,0 +1,209 @@
+// Cross-validation of the specialization claim (paper Section 1):
+// multiprocessor scheduling is the special case of 1D FPGA scheduling with
+// unit task areas and A(H) = m. The FPGA tests evaluated on unit-area
+// tasksets must therefore agree with the independently implemented
+// multiprocessor ancestors:
+//   DP  (unit areas, A(H)=m)  ⇔  GFB   — both reduce to U ≤ m − (m−1)u_max
+//   GN1 (unit areas)          ⇔  BCL   — with the BCL window normalization
+//   GN2 (unit areas)          ⇔  BAK2
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "gen/generator.hpp"
+#include "mp/mp_tests.hpp"
+#include "task/io.hpp"
+
+namespace reconf::mp {
+namespace {
+
+gen::GenProfile cpu_profile(int n) {
+  gen::GenProfile p = gen::GenProfile::unconstrained(n);
+  p.area_min = 1;
+  p.area_max = 1;  // CPU tasks occupy exactly one processor
+  return p;
+}
+
+struct CrossCase {
+  std::uint64_t seed;
+  int num_tasks;
+  int processors;
+  double target_ut;  // time utilization target == system utilization here
+};
+
+class CrossSweep : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossSweep, DpSpecializesToGfb) {
+  const CrossCase& c = GetParam();
+  gen::GenRequest req;
+  req.profile = cpu_profile(c.num_tasks);
+  req.target_system_util = c.target_ut;
+  req.target_tolerance = 0.05;
+  req.seed = c.seed;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  const bool fpga =
+      analysis::dp_test(*ts, Device{c.processors}).accepted();
+  const bool cpu = gfb_test(*ts, MpPlatform{c.processors}).accepted();
+  EXPECT_EQ(fpga, cpu) << io::to_string(*ts, Device{c.processors});
+}
+
+TEST_P(CrossSweep, Gn1WithBclWindowSpecializesToBcl) {
+  const CrossCase& c = GetParam();
+  gen::GenRequest req;
+  req.profile = cpu_profile(c.num_tasks);
+  req.target_system_util = c.target_ut;
+  req.target_tolerance = 0.05;
+  req.seed = c.seed ^ 0x11;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  // With A_i = 1, Lemma 3's (A(H) − A_k + 1) = m and BCL's window
+  // normalization makes β_i = W̄_i/D_k: exactly Bertogna's condition.
+  analysis::Gn1Options opt;
+  opt.normalization = analysis::Gn1Options::Normalization::kBclWindowDk;
+  const bool fpga =
+      analysis::gn1_test(*ts, Device{c.processors}, opt).accepted();
+  const bool cpu = bcl_test(*ts, MpPlatform{c.processors}).accepted();
+  EXPECT_EQ(fpga, cpu) << io::to_string(*ts, Device{c.processors});
+}
+
+TEST_P(CrossSweep, Gn2SpecializesToBak2) {
+  const CrossCase& c = GetParam();
+  gen::GenRequest req;
+  req.profile = cpu_profile(c.num_tasks);
+  req.target_system_util = c.target_ut;
+  req.target_tolerance = 0.05;
+  req.seed = c.seed ^ 0x22;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  // Implicit deadlines keep the (paper-vs-Baker) middle β branch dormant,
+  // so the published GN2 and BAK2 coincide at A_i = 1.
+  const bool fpga =
+      analysis::gn2_test(*ts, Device{c.processors}).accepted();
+  const bool cpu = bak2_test(*ts, MpPlatform{c.processors}).accepted();
+  EXPECT_EQ(fpga, cpu) << io::to_string(*ts, Device{c.processors});
+}
+
+std::vector<CrossCase> cross_cases() {
+  std::vector<CrossCase> cases;
+  for (const int m : {2, 4, 8}) {
+    for (const int n : {3, 6, 12}) {
+      for (const double frac : {0.3, 0.6, 0.9}) {
+        const double target = frac * m;
+        // Unit-area tasks give U_S = U_T ≤ n; skip unreachable targets.
+        if (target > 0.9 * n) continue;
+        for (std::uint64_t s = 0; s < 5; ++s) {
+          cases.push_back({0xC40C + s * 17 + static_cast<std::uint64_t>(m * n),
+                           n, m, target});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCpuTasksets, CrossSweep, ::testing::ValuesIn(cross_cases()),
+    [](const ::testing::TestParamInfo<CrossCase>& info) {
+      const CrossCase& c = info.param;
+      return "m" + std::to_string(c.processors) + "_n" +
+             std::to_string(c.num_tasks) + "_u" +
+             std::to_string(static_cast<int>(c.target_ut * 10)) + "_s" +
+             std::to_string(c.seed & 0xFFFF);
+    });
+
+// ---------------------------------------------------------------- directed --
+TEST(MpTests, GfbAcceptsClassicBound) {
+  // m=2, u_max=0.5: bound is 2 − 1·0.5 = 1.5.
+  const TaskSet ok({make_task(5, 10, 10, 1), make_task(5, 10, 10, 1),
+                    make_task(4.9, 10, 10, 1)});  // U = 1.49
+  EXPECT_TRUE(gfb_test(ok, MpPlatform{2}).accepted());
+  const TaskSet bad({make_task(5, 10, 10, 1), make_task(5, 10, 10, 1),
+                     make_task(5.2, 10, 10, 1)});  // U = 1.52, u_max=0.52
+  EXPECT_FALSE(gfb_test(bad, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, GfbRequiresImplicitDeadlines) {
+  const TaskSet ts({make_task(1, 5, 10, 1)});
+  const auto r = gfb_test(ts, MpPlatform{2});
+  EXPECT_FALSE(r.accepted());
+  EXPECT_NE(r.note.find("implicit"), std::string::npos);
+}
+
+TEST(MpTests, BclAcceptsLightTaskset) {
+  const TaskSet ts({make_task(1, 10, 10, 1), make_task(1, 12, 12, 1),
+                    make_task(1, 14, 14, 1)});
+  EXPECT_TRUE(bcl_test(ts, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, BclRejectsZeroSlackTask) {
+  // D = C leaves no room for any interference (strict inequality fails).
+  const TaskSet ts({make_task(5, 5, 5, 1), make_task(1, 10, 10, 1)});
+  EXPECT_FALSE(bcl_test(ts, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, Bak2AcceptsLightTaskset) {
+  const TaskSet ts({make_task(1, 10, 10, 1), make_task(1, 12, 12, 1)});
+  EXPECT_TRUE(bak2_test(ts, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, Bak1ReducesToGfbForImplicitDeadlines) {
+  // With D = T, BAK1's condition at the max-density task is exactly GFB's
+  // U ≤ m − (m−1)·u_max; the verdicts must match on implicit-deadline sets.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    gen::GenRequest req;
+    gen::GenProfile p = gen::GenProfile::unconstrained(6);
+    p.area_min = p.area_max = 1;
+    req.profile = p;
+    req.target_system_util = 1.8;
+    req.target_tolerance = 0.05;
+    req.seed = seed;
+    const auto ts = gen::generate_with_retries(req);
+    if (!ts) continue;
+    EXPECT_EQ(bak1_test(*ts, MpPlatform{2}).accepted(),
+              gfb_test(*ts, MpPlatform{2}).accepted())
+        << io::to_string(*ts, Device{2});
+  }
+}
+
+TEST(MpTests, Bak1HandlesConstrainedDeadlines) {
+  // GFB refuses D < T; BAK1 evaluates it. A light constrained set passes.
+  const TaskSet light({make_task(1, 6, 12, 1), make_task(1, 8, 16, 1)});
+  EXPECT_TRUE(bak1_test(light, MpPlatform{2}).accepted());
+  EXPECT_FALSE(gfb_test(light, MpPlatform{2}).accepted());
+  // A dense constrained set fails (λ_k near 1 leaves no interference room).
+  const TaskSet dense({make_task(5, 5.5, 12, 1), make_task(5, 5.5, 12, 1),
+                       make_task(5, 5.5, 12, 1)});
+  EXPECT_FALSE(bak1_test(dense, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, InvalidPlatformRejects) {
+  const TaskSet ts({make_task(1, 10, 10, 1)});
+  EXPECT_FALSE(gfb_test(ts, MpPlatform{0}).accepted());
+  EXPECT_FALSE(bcl_test(ts, MpPlatform{0}).accepted());
+  EXPECT_FALSE(bak2_test(ts, MpPlatform{0}).accepted());
+}
+
+TEST(MpTests, EmptyTasksetIsSchedulable) {
+  EXPECT_TRUE(gfb_test(TaskSet{}, MpPlatform{2}).accepted());
+  EXPECT_TRUE(bcl_test(TaskSet{}, MpPlatform{2}).accepted());
+  EXPECT_TRUE(bak2_test(TaskSet{}, MpPlatform{2}).accepted());
+}
+
+TEST(MpTests, AsUnitAreaForcesAllAreasToOne) {
+  const TaskSet ts({make_task(1, 5, 5, 7), make_task(1, 6, 6, 3)});
+  const TaskSet unit = as_unit_area(ts);
+  EXPECT_EQ(unit.max_area(), 1);
+  EXPECT_EQ(unit.min_area(), 1);
+  EXPECT_EQ(unit[0].wcet, ts[0].wcet);
+}
+
+}  // namespace
+}  // namespace reconf::mp

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "placement/column_map.hpp"
+
+namespace reconf::placement {
+namespace {
+
+TEST(ColumnMap, StartsFullyFree) {
+  const ColumnMap map(100);
+  EXPECT_EQ(map.width(), 100);
+  EXPECT_EQ(map.free_area(), 100);
+  EXPECT_EQ(map.occupied_area(), 0);
+  EXPECT_EQ(map.largest_gap(), 100);
+  EXPECT_DOUBLE_EQ(map.fragmentation(), 0.0);
+}
+
+TEST(ColumnMap, AllocateSplitsGap) {
+  ColumnMap map(100);
+  map.allocate({10, 30});
+  EXPECT_EQ(map.free_area(), 80);
+  const auto gaps = map.gaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], (Interval{0, 10}));
+  EXPECT_EQ(gaps[1], (Interval{30, 100}));
+  EXPECT_FALSE(map.is_free({9, 11}));
+  EXPECT_TRUE(map.is_free({0, 10}));
+}
+
+TEST(ColumnMap, ReleaseCoalescesNeighbors) {
+  ColumnMap map(100);
+  map.allocate({10, 30});
+  map.allocate({30, 50});
+  EXPECT_EQ(map.gaps().size(), 2u);  // [0,10) and [50,100)
+  map.release({10, 30});
+  EXPECT_EQ(map.gaps().size(), 2u);  // coalesced left: [0,30) and [50,100)
+  map.release({30, 50});
+  // All free again: a single [0,100) gap.
+  const auto gaps = map.gaps();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (Interval{0, 100}));
+  EXPECT_EQ(map.free_area(), 100);
+}
+
+TEST(ColumnMap, FirstFitPicksLeftmost) {
+  ColumnMap map(100);
+  map.allocate({10, 20});  // gaps: [0,10) and [20,100)
+  const auto gap = map.find_gap(5, Strategy::kFirstFit);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, (Interval{0, 5}));
+}
+
+TEST(ColumnMap, FirstFitSkipsTooSmallGap) {
+  ColumnMap map(100);
+  map.allocate({10, 20});
+  const auto gap = map.find_gap(15, Strategy::kFirstFit);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, (Interval{20, 35}));
+}
+
+TEST(ColumnMap, BestFitPicksSmallestGap) {
+  ColumnMap map(100);
+  map.allocate({10, 20});  // gaps 10 and 80
+  const auto gap = map.find_gap(8, Strategy::kBestFit);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, (Interval{0, 8}));
+}
+
+TEST(ColumnMap, WorstFitPicksLargestGap) {
+  ColumnMap map(100);
+  map.allocate({10, 20});
+  const auto gap = map.find_gap(8, Strategy::kWorstFit);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, (Interval{20, 28}));
+}
+
+TEST(ColumnMap, NoGapReturnsNullopt) {
+  ColumnMap map(20);
+  map.allocate({5, 15});  // gaps 5 and 5
+  EXPECT_FALSE(map.find_gap(6, Strategy::kFirstFit).has_value());
+  EXPECT_FALSE(map.find_gap(6, Strategy::kBestFit).has_value());
+  EXPECT_FALSE(map.find_gap(6, Strategy::kWorstFit).has_value());
+}
+
+TEST(ColumnMap, FragmentationDistinguishesAreaFromContiguity) {
+  ColumnMap map(20);
+  map.allocate({5, 15});
+  EXPECT_TRUE(map.fits_by_area(10));         // 10 columns free in total
+  EXPECT_FALSE(map.fits_contiguously(10));   // but split 5 + 5
+  EXPECT_TRUE(map.fits_contiguously(5));
+  EXPECT_DOUBLE_EQ(map.fragmentation(), 0.5);
+}
+
+TEST(ColumnMap, FullMapHasZeroFragmentation) {
+  ColumnMap map(10);
+  map.allocate({0, 10});
+  EXPECT_EQ(map.free_area(), 0);
+  EXPECT_DOUBLE_EQ(map.fragmentation(), 0.0);
+  EXPECT_FALSE(map.fits_by_area(1));
+}
+
+TEST(ColumnMap, ClearRestoresFullDevice) {
+  ColumnMap map(50);
+  map.allocate({0, 20});
+  map.allocate({30, 40});
+  map.clear();
+  EXPECT_EQ(map.free_area(), 50);
+  EXPECT_EQ(map.gaps().size(), 1u);
+}
+
+TEST(ColumnMap, AdjacentAllocationsAndReleasesStressConsistency) {
+  ColumnMap map(64);
+  // Allocate every other 4-column block, then free them in reverse.
+  for (Area lo = 0; lo + 4 <= 64; lo += 8) map.allocate({lo, lo + 4});
+  EXPECT_EQ(map.free_area(), 32);
+  EXPECT_EQ(map.largest_gap(), 4);
+  for (Area lo = 56; lo >= 0; lo -= 8) map.release({lo, lo + 4});
+  EXPECT_EQ(map.free_area(), 64);
+  EXPECT_EQ(map.gaps().size(), 1u);
+}
+
+TEST(ColumnMap, StrategyNamesAreStable) {
+  EXPECT_STREQ(to_string(Strategy::kFirstFit), "first-fit");
+  EXPECT_STREQ(to_string(Strategy::kBestFit), "best-fit");
+  EXPECT_STREQ(to_string(Strategy::kWorstFit), "worst-fit");
+}
+
+}  // namespace
+}  // namespace reconf::placement

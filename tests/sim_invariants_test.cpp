@@ -1,0 +1,129 @@
+// Trace-level validation of the work-conserving lemmas the paper's bounds
+// rest on (Section 3): Lemma 1 for EDF-FkF, Lemma 2 for EDF-NF, and the
+// FkF prefix property, checked at every dispatch of randomized simulations.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+#include "task/io.hpp"
+#include "task/task.hpp"
+
+namespace reconf::sim {
+namespace {
+
+struct InvariantCase {
+  std::uint64_t seed;
+  int num_tasks;
+  double target_us;
+  SchedulerKind scheduler;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(InvariantSweep, DispatchInvariantsHoldThroughoutTheRun) {
+  const InvariantCase& c = GetParam();
+  const Device dev{100};
+
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(c.num_tasks);
+  req.target_system_util = c.target_us;
+  req.seed = c.seed;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  SimConfig cfg;
+  cfg.scheduler = c.scheduler;
+  cfg.horizon_periods = 60;
+  cfg.check_invariants = true;
+  cfg.stop_on_first_miss = false;  // overload stresses the lemmas hardest
+  const SimResult r = simulate(*ts, dev, cfg);
+
+  EXPECT_TRUE(r.invariant_violations.empty())
+      << r.invariant_violations.front() << "\n"
+      << io::to_string(*ts, dev);
+  EXPECT_GT(r.dispatches, 0u);
+}
+
+std::vector<InvariantCase> invariant_cases() {
+  std::vector<InvariantCase> cases;
+  for (const auto kind : {SchedulerKind::kEdfNf, SchedulerKind::kEdfFkF}) {
+    for (const int n : {4, 10, 20}) {
+      // Include heavy overload (US up to 1.5x capacity): the alpha bounds
+      // must hold precisely when the queue is backed up.
+      for (const double us : {40.0, 80.0, 120.0, 150.0}) {
+        for (std::uint64_t s = 0; s < 6; ++s) {
+          cases.push_back(
+              {0x1E44A + s * 31 + static_cast<std::uint64_t>(n), n, us, kind});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTasksets, InvariantSweep, ::testing::ValuesIn(invariant_cases()),
+    [](const ::testing::TestParamInfo<InvariantCase>& info) {
+      const InvariantCase& c = info.param;
+      return std::string(c.scheduler == SchedulerKind::kEdfNf ? "NF" : "FkF") +
+             "_n" + std::to_string(c.num_tasks) + "_us" +
+             std::to_string(static_cast<int>(c.target_us)) + "_s" +
+             std::to_string(c.seed & 0xFFFF);
+    });
+
+// --------------------------------------------------------------- directed --
+TEST(InvariantChecker, ObserverCollectsNothingOnCleanRun) {
+  const TaskSet ts({make_task(2, 5, 5, 6), make_task(2, 5, 5, 6)});
+  InvariantChecker checker(SchedulerKind::kEdfNf,
+                           PlacementMode::kUnrestrictedMigration);
+  SimConfig cfg;
+  cfg.observer = &checker;
+  const SimResult r = simulate(ts, Device{10}, cfg);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(checker.clean());
+  EXPECT_GT(checker.dispatches_seen(), 0u);
+}
+
+TEST(InvariantChecker, Lemma1BoundIsTightInTheBlockingScenario) {
+  // FkF with a queue head too wide to fit: occupied area must still be at
+  // least A(H) - (A_max - 1) = 10 - 8 = 2 whenever jobs wait.
+  const TaskSet ts({
+      make_task(4, 10, 10, 9),  // wide head
+      make_task(4, 10, 10, 2),  // narrow, blocked behind it under FkF
+  });
+  SimConfig cfg;
+  cfg.scheduler = SchedulerKind::kEdfFkF;
+  cfg.check_invariants = true;
+  cfg.stop_on_first_miss = false;
+  const SimResult r = simulate(ts, Device{10}, cfg);
+  EXPECT_TRUE(r.invariant_violations.empty());
+}
+
+TEST(InvariantChecker, PlacementModeSkipsLemmaChecks) {
+  // Under contiguous placement fragmentation may legally drop occupancy
+  // below the lemma bounds; only the cap and prefix checks apply.
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(10);
+  req.target_system_util = 90.0;
+  req.seed = 0xF4A6;
+  const auto ts = gen::generate_with_retries(req);
+  ASSERT_TRUE(ts.has_value());
+
+  SimConfig cfg;
+  cfg.scheduler = SchedulerKind::kEdfNf;
+  cfg.placement = PlacementMode::kContiguousNoMigration;
+  cfg.check_invariants = true;
+  cfg.stop_on_first_miss = false;
+  cfg.horizon_periods = 40;
+  const SimResult r = simulate(*ts, Device{100}, cfg);
+  EXPECT_TRUE(r.invariant_violations.empty())
+      << r.invariant_violations.front();
+}
+
+}  // namespace
+}  // namespace reconf::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "task/task.hpp"
+
+namespace reconf::sim {
+namespace {
+
+TraceSegment seg(std::size_t task, Ticks b, Ticks e, Area lo, Area hi,
+                 bool reconf = false, std::uint64_t sequence = 0) {
+  TraceSegment s;
+  s.task_index = task;
+  s.sequence = sequence;
+  s.begin = b;
+  s.end = e;
+  s.col_lo = lo;
+  s.col_hi = hi;
+  s.reconfiguring = reconf;
+  return s;
+}
+
+TEST(Trace, MergesContiguousSegmentsOfSameJob) {
+  Trace t;
+  t.add(seg(0, 0, 100, 0, 4));
+  t.add(seg(0, 100, 250, 0, 4));
+  ASSERT_EQ(t.segments().size(), 1u);
+  EXPECT_EQ(t.segments()[0].end, 250);
+}
+
+TEST(Trace, DoesNotMergeAcrossPlacementChange) {
+  Trace t;
+  t.add(seg(0, 0, 100, 0, 4));
+  t.add(seg(0, 100, 200, 4, 8));  // moved
+  EXPECT_EQ(t.segments().size(), 2u);
+}
+
+TEST(Trace, DoesNotMergeAcrossGapOrJob) {
+  Trace t;
+  t.add(seg(0, 0, 100, 0, 4));
+  t.add(seg(0, 150, 200, 0, 4));  // time gap
+  t.add(seg(1, 200, 220, 0, 4));  // other task
+  EXPECT_EQ(t.segments().size(), 3u);
+}
+
+TEST(Trace, DoesNotMergeExecutionIntoReconfiguration) {
+  Trace t;
+  t.add(seg(0, 0, 40, 0, 4, /*reconf=*/true));
+  t.add(seg(0, 40, 140, 0, 4, /*reconf=*/false));
+  ASSERT_EQ(t.segments().size(), 2u);
+  EXPECT_TRUE(t.segments()[0].reconfiguring);
+}
+
+TEST(Trace, WorkAccountingSeparatesReconfiguration) {
+  Trace t;
+  t.add(seg(0, 0, 40, 0, 4, true));
+  t.add(seg(0, 40, 140, 0, 4));
+  t.add(seg(1, 0, 50, 4, 10));
+  EXPECT_EQ(t.time_work(0), 100);          // stall excluded
+  EXPECT_EQ(t.system_work(0), 100 * 4);
+  EXPECT_EQ(t.time_work(1), 50);
+  EXPECT_EQ(t.system_work(1), 50 * 6);
+  EXPECT_EQ(t.time_work(2), 0);
+}
+
+TEST(Trace, GanttShowsExecutionAndIdle) {
+  const TaskSet ts({make_task(2, 5, 5, 6), make_task(2, 5, 5, 6)});
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.horizon = 500;
+  const auto r = simulate(ts, Device{10}, cfg);
+  const std::string gantt = r.trace.render_gantt(ts, 500, 50);
+  // Two rows, each with both executed ('#') and idle ('.') buckets.
+  ASSERT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 2);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('.'), std::string::npos);
+}
+
+TEST(Trace, GanttMarksReconfiguration) {
+  const TaskSet ts({make_task(2, 5, 5, 4)});
+  SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.reconfig_cost_per_column = 20;  // 80-tick stall, visible at 50 cols
+  cfg.horizon = 500;
+  const auto r = simulate(ts, Device{10}, cfg);
+  const std::string gantt = r.trace.render_gantt(ts, 500, 50);
+  EXPECT_NE(gantt.find('~'), std::string::npos);
+}
+
+TEST(Trace, SimulationTraceConservesWork) {
+  // Over one hyperperiod with no misses, the executed time of each task is
+  // exactly (hyperperiod / T_i) * C_i.
+  const TaskSet ts({make_task(2, 5, 5, 6), make_task(3, 7, 7, 4)});
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const auto r = simulate(ts, Device{10}, cfg);
+  ASSERT_TRUE(r.schedulable);
+  ASSERT_EQ(r.horizon, 3500);
+  EXPECT_EQ(r.trace.time_work(0), (3500 / 500) * 200);
+  EXPECT_EQ(r.trace.time_work(1), (3500 / 700) * 300);
+  // System work ratio equals the area ratio of equal time slices.
+  EXPECT_EQ(r.trace.system_work(0), (3500 / 500) * 200 * 6);
+}
+
+TEST(Trace, BusyAreaTimeMatchesTraceSystemWorkWithoutOverhead) {
+  const TaskSet ts({make_task(2, 5, 5, 6), make_task(3, 7, 7, 4)});
+  SimConfig cfg;
+  cfg.record_trace = true;
+  const auto r = simulate(ts, Device{10}, cfg);
+  const std::int64_t trace_total =
+      r.trace.system_work(0) + r.trace.system_work(1);
+  EXPECT_EQ(r.busy_area_time, trace_total);
+}
+
+}  // namespace
+}  // namespace reconf::sim

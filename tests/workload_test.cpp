@@ -1,0 +1,165 @@
+// Empirical validation of Lemma 4: for every job window [r_k^j, d_k^j) of
+// every task, the EDF-relevant time work any other task places inside the
+// window never exceeds W̄_i = N_i·C_i + min(C_i, max(D_k − N_i·T_i, 0)).
+// This is the analytical core of GN1 checked against real schedules, plus
+// unit coverage of the work-measurement helpers (the paper's Fig. 2
+// quantities).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "analysis/workload.hpp"
+#include "gen/generator.hpp"
+#include "sim/engine.hpp"
+#include "task/fixtures.hpp"
+#include "task/io.hpp"
+
+namespace reconf::analysis {
+namespace {
+
+// ------------------------------------------------------------- formulas --
+TEST(Lemma4, JobCountMatchesHandComputation) {
+  // Paper Table 3 walkthrough: k=2 (D_k = 700), i=1 (D=T=500):
+  // N_1 = floor((700-500)/500)+1 = 1.
+  const Task t1 = make_task(2.10, 5, 5, 7);
+  EXPECT_EQ(lemma4_job_count(t1, 700), 1);
+  // Table 2, k=1 (D_k=800), i=2 (D=T=900): floor(-100/900)+1 = 0.
+  const Task t2 = make_task(8.0, 9, 9, 5);
+  EXPECT_EQ(lemma4_job_count(t2, 800), 0);
+  // Clamp: D_i far above the window.
+  const Task wide = make_task(1, 50, 5, 2);
+  EXPECT_EQ(lemma4_job_count(wide, 10), 0);
+}
+
+TEST(Lemma4, BoundMatchesPaperExamples) {
+  // Table 3, window 700, τ1: W̄ = 1·210 + min(210, 700-500) = 410 ticks
+  // (the paper's 4.1 time units; β_1 = 4.1/5).
+  const Task t1 = make_task(2.10, 5, 5, 7);
+  EXPECT_EQ(lemma4_workload_bound(t1, 700), 410);
+  // Table 2, k=2 window 900, τ1 (C=450, D=T=800):
+  // N=1, W̄ = 450 + min(450, 900-800) = 550 (paper: 5.5).
+  const Task t2 = make_task(4.50, 8, 8, 3);
+  EXPECT_EQ(lemma4_workload_bound(t2, 900), 550);
+}
+
+TEST(Lemma4, BoundIsMonotoneInWindow) {
+  const Task t = make_task(2, 7, 7, 3);
+  Ticks prev = 0;
+  for (Ticks window = 100; window <= 5000; window += 100) {
+    const Ticks bound = lemma4_workload_bound(t, window);
+    EXPECT_GE(bound, prev);
+    prev = bound;
+  }
+}
+
+// ---------------------------------------------------------- measurement --
+TEST(WorkMeasurement, WindowOverlapIsExact) {
+  const TaskSet ts({make_task(2, 5, 5, 6)});
+  sim::SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.horizon = 1500;
+  const auto r = sim::simulate(ts, Device{10}, cfg);
+  // Executes [0,200), [500,700), [1000,1200).
+  EXPECT_EQ(measured_time_work(r.trace, 0, 0, 1500), 600);
+  EXPECT_EQ(measured_time_work(r.trace, 0, 100, 600), 200);  // 100 + 100
+  EXPECT_EQ(measured_time_work(r.trace, 0, 200, 500), 0);
+  EXPECT_EQ(measured_system_work(r.trace, ts, 0, 0, 1500), 600 * 6);
+}
+
+TEST(WorkMeasurement, InterferingWorkExcludesLaterDeadlines) {
+  const TaskSet ts({make_task(2, 5, 5, 6)});
+  sim::SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.horizon = 1500;
+  const auto r = sim::simulate(ts, Device{10}, cfg);
+  // Window [0,600): job 0 (deadline 500) counts, job 1 (deadline 1000)
+  // does not — although job 1 executes [500,600) inside the window.
+  EXPECT_EQ(measured_time_work(r.trace, 0, 0, 600), 300);
+  EXPECT_EQ(measured_interfering_work(r.trace, ts, 0, 0, 600), 200);
+}
+
+TEST(WorkMeasurement, InterferenceProfileCoversEveryJobWindow) {
+  const TaskSet ts = fixtures::paper_table1();
+  sim::SimConfig cfg;
+  cfg.record_trace = true;
+  const auto r = sim::simulate(ts, fixtures::paper_device_small(), cfg);
+  const auto profile = interference_profile(r.trace, ts, 1, r.horizon);
+  ASSERT_EQ(profile.size(), 7u);  // 3500/500 jobs of τ2
+  for (const auto& sample : profile) {
+    ASSERT_EQ(sample.time_work_by_task.size(), 2u);
+    EXPECT_EQ(sample.window_end - sample.window_begin, 500);
+    // τ2's own work inside its window is its full WCET (it met deadlines).
+    EXPECT_EQ(sample.time_work_by_task[1], 95);
+  }
+}
+
+// ------------------------------------------------ Lemma 4 at trace level --
+struct Lemma4Case {
+  std::uint64_t seed;
+  int num_tasks;
+  double target_us;
+};
+
+class Lemma4Sweep : public ::testing::TestWithParam<Lemma4Case> {};
+
+TEST_P(Lemma4Sweep, MeasuredInterferingWorkNeverExceedsBound) {
+  const Lemma4Case& c = GetParam();
+  const Device dev{100};
+
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(c.num_tasks);
+  req.target_system_util = c.target_us;
+  req.seed = c.seed;
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) GTEST_SKIP();
+
+  sim::SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.horizon_periods = 30;
+  cfg.stop_on_first_miss = false;  // overload packs windows hardest
+  const auto run = sim::simulate(*ts, dev, cfg);
+
+  for (std::size_t k = 0; k < ts->size(); ++k) {
+    const Task& tk = (*ts)[k];
+    for (Ticks release = 0; release + tk.deadline <= run.horizon;
+         release += tk.period) {
+      const Ticks end = release + tk.deadline;
+      for (std::size_t i = 0; i < ts->size(); ++i) {
+        if (i == k) continue;
+        const Ticks measured =
+            measured_interfering_work(run.trace, *ts, i, release, end);
+        const Ticks bound = lemma4_workload_bound((*ts)[i], tk.deadline);
+        ASSERT_LE(measured, bound)
+            << "window of task " << k << " at " << release << ", task " << i
+            << "\n"
+            << io::to_string(*ts, dev);
+      }
+    }
+  }
+}
+
+std::vector<Lemma4Case> lemma4_cases() {
+  std::vector<Lemma4Case> cases;
+  for (const int n : {3, 6}) {
+    for (const double us : {40.0, 90.0, 130.0}) {
+      for (std::uint64_t s = 0; s < 5; ++s) {
+        cases.push_back({0x1E44 + s * 3 + static_cast<std::uint64_t>(n), n,
+                         us});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTasksets, Lemma4Sweep,
+                         ::testing::ValuesIn(lemma4_cases()),
+                         [](const ::testing::TestParamInfo<Lemma4Case>& info) {
+                           const Lemma4Case& c = info.param;
+                           return "n" + std::to_string(c.num_tasks) + "_us" +
+                                  std::to_string(static_cast<int>(c.target_us)) +
+                                  "_s" + std::to_string(c.seed & 0xFFFF);
+                         });
+
+}  // namespace
+}  // namespace reconf::analysis

@@ -1,0 +1,261 @@
+// reconf_cli — command-line front end for the library, so tasksets can be
+// analyzed, simulated and generated without writing C++.
+//
+//   reconf_cli analyze  <taskset-file>
+//   reconf_cli simulate <taskset-file> [--scheduler=nf|fkf|us]
+//                       [--placement=migrate|contiguous]
+//                       [--strategy=first|best|worst]
+//                       [--horizon-periods=N] [--rho=TICKS] [--gantt]
+//                       [--arrivals=periodic|sporadic] [--seed=S]
+//   reconf_cli generate [--n=N] [--profile=unconstrained|heavy-area|heavy-time]
+//                       [--us=TARGET] [--seed=S] [--width=W]
+//   reconf_cli width    <taskset-file>   # minimal A(H) per criterion
+//
+// Taskset file format: see task/io.hpp (also produced by `generate`).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reconf/reconf.hpp"
+
+namespace {
+
+using namespace reconf;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: reconf_cli <analyze|simulate|generate|width> ...\n"
+               "see the header of tools/reconf_cli.cpp for all flags\n");
+  return 2;
+}
+
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (const std::string& a : args) {
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (const std::string& a : args) {
+    if (a == bare) return true;
+  }
+  return false;
+}
+
+std::optional<io::ParsedTaskSet> load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  try {
+    return io::read_taskset(file);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+void print_report(const analysis::TestReport& r) {
+  std::printf("  %-4s : %s", r.test_name.c_str(),
+              r.accepted() ? "SCHEDULABLE" : "inconclusive");
+  if (!r.accepted() && r.first_failing_task) {
+    const auto& d = r.per_task[*r.first_failing_task];
+    std::printf(" (k=%zu: lhs=%.4f rhs=%.4f)", *r.first_failing_task + 1,
+                d.lhs, d.rhs);
+  }
+  if (!r.note.empty()) std::printf(" [%s]", r.note.c_str());
+  std::printf("\n");
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto parsed = load(args[0]);
+  if (!parsed) return 1;
+
+  std::cout << io::format_table(parsed->taskset, parsed->device) << "\n";
+  print_report(analysis::dp_test(parsed->taskset, parsed->device));
+  print_report(analysis::gn1_test(parsed->taskset, parsed->device));
+  print_report(analysis::gn2_test(parsed->taskset, parsed->device));
+  const auto any = analysis::composite_test(parsed->taskset, parsed->device);
+  std::printf("  ANY  : %s%s%s\n",
+              any.accepted() ? "SCHEDULABLE" : "inconclusive",
+              any.accepted() ? " via " : "",
+              any.accepted_by().c_str());
+  const auto part =
+      partition::partition_tasks(parsed->taskset, parsed->device);
+  std::printf("  PART : %s (%zu partitions, %d columns)\n",
+              part.feasible ? "feasible" : "infeasible",
+              part.partitions.size(), part.total_width);
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto parsed = load(args[0]);
+  if (!parsed) return 1;
+
+  sim::SimConfig cfg;
+  if (const auto s = flag_value(args, "scheduler")) {
+    if (*s == "fkf") cfg.scheduler = sim::SchedulerKind::kEdfFkF;
+    else if (*s == "us") cfg.scheduler = sim::SchedulerKind::kEdfUs;
+    else if (*s != "nf") return usage();
+  }
+  if (const auto p = flag_value(args, "placement")) {
+    if (*p == "contiguous") {
+      cfg.placement = sim::PlacementMode::kContiguousNoMigration;
+    } else if (*p != "migrate") {
+      return usage();
+    }
+  }
+  if (const auto s = flag_value(args, "strategy")) {
+    if (*s == "best") cfg.strategy = placement::Strategy::kBestFit;
+    else if (*s == "worst") cfg.strategy = placement::Strategy::kWorstFit;
+    else if (*s != "first") return usage();
+  }
+  if (const auto h = flag_value(args, "horizon-periods")) {
+    cfg.horizon_periods = std::stoi(*h);
+  }
+  if (const auto r = flag_value(args, "rho")) {
+    cfg.reconfig_cost_per_column = std::stoll(*r);
+  }
+  if (const auto a = flag_value(args, "arrivals")) {
+    if (*a == "sporadic") cfg.arrivals = sim::ArrivalModel::kSporadic;
+    else if (*a != "periodic") return usage();
+  }
+  if (const auto s = flag_value(args, "seed")) {
+    cfg.arrival_seed = std::stoull(*s);
+  }
+  cfg.record_trace = has_flag(args, "gantt");
+  cfg.check_invariants = true;
+  cfg.stop_on_first_miss = false;
+
+  const auto r = sim::simulate(parsed->taskset, parsed->device, cfg);
+  std::printf("scheduler=%s placement=%s arrivals=%s horizon=%lld\n",
+              sim::to_string(cfg.scheduler), sim::to_string(cfg.placement),
+              sim::to_string(cfg.arrivals),
+              static_cast<long long>(r.horizon));
+  std::printf("result: %s  released=%llu completed=%llu misses=%llu "
+              "preemptions=%llu occupancy=%.1f%%\n",
+              r.schedulable ? "no deadline misses" : "DEADLINE MISSES",
+              static_cast<unsigned long long>(r.jobs_released),
+              static_cast<unsigned long long>(r.jobs_completed),
+              static_cast<unsigned long long>(r.deadline_misses),
+              static_cast<unsigned long long>(r.preemptions),
+              100.0 * r.average_occupancy(parsed->device.width));
+  if (r.first_miss) {
+    std::printf("first miss: task %zu job %llu at t=%lld\n",
+                r.first_miss->task_index + 1,
+                static_cast<unsigned long long>(r.first_miss->sequence),
+                static_cast<long long>(r.first_miss->deadline));
+  }
+  for (const auto& v : r.invariant_violations) {
+    std::printf("invariant violation: %s\n", v.c_str());
+  }
+  if (cfg.record_trace) {
+    std::cout << "\n"
+              << r.trace.render_gantt(parsed->taskset, r.horizon) << "\n";
+  }
+  return r.schedulable ? 0 : 1;
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  gen::GenRequest req;
+  int n = 10;
+  if (const auto v = flag_value(args, "n")) n = std::stoi(*v);
+  req.profile = gen::GenProfile::unconstrained(n);
+  if (const auto v = flag_value(args, "profile")) {
+    if (*v == "heavy-area") {
+      req.profile = gen::GenProfile::spatially_heavy_time_light(n);
+    } else if (*v == "heavy-time") {
+      req.profile = gen::GenProfile::spatially_light_time_heavy(n);
+    } else if (*v != "unconstrained") {
+      return usage();
+    }
+  }
+  if (const auto v = flag_value(args, "us")) {
+    req.target_system_util = std::stod(*v);
+  }
+  if (const auto v = flag_value(args, "seed")) req.seed = std::stoull(*v);
+  Area width = 100;
+  if (const auto v = flag_value(args, "width")) {
+    width = static_cast<Area>(std::stoi(*v));
+  }
+
+  const auto ts = gen::generate_with_retries(req);
+  if (!ts) {
+    std::fprintf(stderr, "generation failed (target unreachable?)\n");
+    return 1;
+  }
+  io::write_taskset(std::cout, *ts, Device{width});
+  return 0;
+}
+
+int cmd_width(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto parsed = load(args[0]);
+  if (!parsed) return 1;
+  const TaskSet& ts = parsed->taskset;
+
+  struct Criterion {
+    const char* name;
+    analysis::AcceptPredicate accept;
+  };
+  const Criterion criteria[] = {
+      {"DP", [](const TaskSet& t, Device d) {
+         return analysis::dp_test(t, d).accepted();
+       }},
+      {"GN1", [](const TaskSet& t, Device d) {
+         return analysis::gn1_test(t, d).accepted();
+       }},
+      {"GN2", [](const TaskSet& t, Device d) {
+         return analysis::gn2_test(t, d).accepted();
+       }},
+      {"ANY", [](const TaskSet& t, Device d) {
+         return analysis::composite_test(t, d).accepted();
+       }},
+      {"PART", [](const TaskSet& t, Device d) {
+         return partition::partitioned_schedulable(t, d);
+       }},
+      {"SIM-NF", [](const TaskSet& t, Device d) {
+         sim::SimConfig cfg;
+         cfg.horizon_periods = 100;
+         return sim::simulate(t, d, cfg).schedulable;
+       }},
+  };
+  std::printf("minimal A(H) per criterion (A_max = %d, ceil(U_S) = %d):\n",
+              ts.max_area(), static_cast<int>(ts.system_utilization()) + 1);
+  for (const Criterion& c : criteria) {
+    const auto w = analysis::min_feasible_width(ts, c.accept, 4096);
+    if (w) {
+      std::printf("  %-7s: %d columns\n", c.name, *w);
+    } else {
+      std::printf("  %-7s: none up to 4096\n", c.name);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "width") return cmd_width(args);
+  return usage();
+}
