@@ -3,11 +3,13 @@
 // at a time, and the runtime must decide instantly whether the new task can
 // be admitted without endangering deadlines already guaranteed.
 //
-// The admission criterion is the paper's Section 6 recommendation: admit if
-// ANY of DP / GN1 / GN2 accepts the extended taskset ("determine that a
-// taskset is unschedulable only if all tests fail"). The example also shows
-// how much admission capacity each individual test would have achieved, and
-// validates every admitted configuration by simulation.
+// This example drives the real serving subsystem (src/svc/): an
+// svc::AdmissionSession holding the admitted set, backed by a shared
+// svc::VerdictCache keyed by the canonical taskset hash. The admission
+// criterion is the paper's Section 6 recommendation encoded in
+// composite_test: admit if ANY of DP / GN1 / GN2 accepts the extended set.
+// Every admitted configuration is validated by simulation, and a second
+// pass replays the identical stream to show the cache serving it for free.
 //
 //   $ ./admission_control [seed]
 
@@ -35,8 +37,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<Task> admitted;
-  int rejected = 0;
+  svc::VerdictCache cache(4096);
+  svc::AdmissionSession session(fpga, &cache);
+
   std::uint64_t dp_only = 0;
   std::uint64_t gn1_only = 0;
   std::uint64_t gn2_only = 0;
@@ -45,47 +48,55 @@ int main(int argc, char** argv) {
               "U_S(new)", "decision");
   for (std::size_t i = 0; i < stream->size(); ++i) {
     const Task& t = (*stream)[i];
-    std::vector<Task> candidate = admitted;
-    candidate.push_back(t);
-    const TaskSet trial{std::move(candidate)};
+    const double us_before = session.admitted_set().system_utilization();
 
-    const auto verdict = analysis::composite_test(trial, fpga);
-    const TaskSet current{std::vector<Task>(admitted)};
+    const auto decision = session.try_admit(t);
 
     char desc[64];
     std::snprintf(desc, sizeof desc, "(%.2f, %lld, %lld, %d)",
                   units_from_ticks(t.wcet),
                   static_cast<long long>(units_from_ticks(t.deadline)),
                   static_cast<long long>(units_from_ticks(t.period)), t.area);
-    std::printf("%-5zu %-28s %9.2f %9.2f  ", i + 1, desc,
-                current.system_utilization(), trial.system_utilization());
+    // U_S(new) is the candidate set's utilization either way: on rejection
+    // the admitted set is unchanged, but the column shows how far over
+    // capacity the trial was.
+    const TaskSet now = session.admitted_set();
+    const double us_trial = decision.admitted
+                                ? now.system_utilization()
+                                : us_before + t.system_utilization();
+    std::printf("%-5zu %-28s %9.2f %9.2f  ", i + 1, desc, us_before,
+                us_trial);
 
-    if (verdict.accepted()) {
-      admitted.push_back(t);
-      std::printf("ADMIT via %s\n", verdict.accepted_by().c_str());
-      // Track which tests are pulling their weight.
-      const bool dp = verdict.sub_reports[0].accepted();
-      const bool gn1 = verdict.sub_reports[1].accepted();
-      const bool gn2 = verdict.sub_reports[2].accepted();
-      dp_only += dp && !gn1 && !gn2;
-      gn1_only += gn1 && !dp && !gn2;
-      gn2_only += gn2 && !dp && !gn1;
+    if (decision.admitted) {
+      std::printf("ADMIT via %s\n", decision.accepted_by.c_str());
+      // Track which tests are pulling their weight (the full composite
+      // report is available because this verdict was freshly analyzed).
+      if (decision.report) {
+        const auto& sub = decision.report->sub_reports;
+        const bool dp = sub[0].accepted();
+        const bool gn1 = sub[1].accepted();
+        const bool gn2 = sub[2].accepted();
+        dp_only += dp && !gn1 && !gn2;
+        gn1_only += gn1 && !dp && !gn2;
+        gn2_only += gn2 && !dp && !gn1;
+      }
 
       // Safety net: every admitted configuration must simulate cleanly.
-      const auto run = sim::simulate(trial, fpga);
+      const auto run = sim::simulate(now, fpga);
       if (!run.schedulable) {
         std::fprintf(stderr, "BUG: admitted set missed a deadline in sim\n");
         return 1;
       }
     } else {
-      ++rejected;
       std::printf("reject\n");
     }
   }
 
-  const TaskSet final_set{std::vector<Task>(admitted)};
-  std::printf("\nadmitted %zu of %zu tasks (rejected %d)\n", admitted.size(),
-              stream->size(), rejected);
+  const TaskSet final_set = session.admitted_set();
+  const auto& stats = session.stats();
+  std::printf("\nadmitted %llu of %zu tasks (rejected %llu)\n",
+              static_cast<unsigned long long>(stats.admitted), stream->size(),
+              static_cast<unsigned long long>(stats.rejected));
   std::printf("final utilization: U_S = %.2f of A(H) = %d  (U_T = %.2f)\n",
               final_set.system_utilization(), fpga.width,
               final_set.time_utilization());
@@ -93,5 +104,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dp_only),
               static_cast<unsigned long long>(gn1_only),
               static_cast<unsigned long long>(gn2_only));
-  return 0;
+
+  // Replay: a second controller sharing the cache sees the same stream.
+  // Every candidate set hashes to an already-cached verdict, so the whole
+  // admission sequence is decided without running a single test.
+  svc::AdmissionSession replay(fpga, &cache);
+  std::uint64_t replay_hits = 0;
+  for (const Task& t : *stream) {
+    replay_hits += replay.try_admit(t).cache_hit ? 1 : 0;
+  }
+  const auto cs = cache.stats();
+  std::printf("\nreplay of the same stream: %llu/%zu decisions served from "
+              "cache (admitted %llu, identical to pass 1: %s)\n",
+              static_cast<unsigned long long>(replay_hits), stream->size(),
+              static_cast<unsigned long long>(replay.stats().admitted),
+              replay.stats().admitted == stats.admitted ? "yes" : "NO — BUG");
+  std::printf("cache: %llu hits / %llu lookups (%.0f%%), %zu entries\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.hits + cs.misses),
+              100.0 * cs.hit_rate(), cache.size());
+  return replay.stats().admitted == stats.admitted ? 0 : 1;
 }

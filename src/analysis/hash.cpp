@@ -1,0 +1,61 @@
+#include "analysis/hash.hpp"
+
+#include "common/rng.hpp"
+
+namespace reconf::analysis {
+
+namespace {
+
+/// Domain-separation salt so taskset hashes cannot collide with other users
+/// of SplitMix64 streams (seed derivation uses index+1 offsets).
+constexpr std::uint64_t kHashSalt = 0x7265636F6E662D31ull;  // "reconf-1"
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  return SplitMix64(x).next();
+}
+
+std::uint64_t task_fingerprint(const Task& t) noexcept {
+  // Field order matters inside a task (C=2,D=3 must differ from C=3,D=2):
+  // chain each field through the mixer instead of accumulating commutatively.
+  std::uint64_t h = mix64(kHashSalt ^ static_cast<std::uint64_t>(t.wcet));
+  h = mix64(h ^ static_cast<std::uint64_t>(t.deadline));
+  h = mix64(h ^ static_cast<std::uint64_t>(t.period));
+  h = mix64(h ^ static_cast<std::uint64_t>(t.area));
+  return h;
+}
+
+std::uint64_t options_fingerprint(const CompositeOptions& options,
+                                  bool for_fkf) noexcept {
+  std::uint64_t h = mix64(kHashSalt ^ 0x6F7074696F6E73ull);  // "options"
+  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  fold(options.use_dp ? 1 : 0);
+  fold(options.use_gn1 ? 1 : 0);
+  fold(options.use_gn2 ? 1 : 0);
+  fold(static_cast<std::uint64_t>(options.dp.alpha));
+  fold(options.dp.require_implicit_deadlines ? 1 : 0);
+  fold(static_cast<std::uint64_t>(options.gn1.normalization));
+  fold(static_cast<std::uint64_t>(options.gn1.rhs));
+  fold(options.gn2.non_strict_condition2 ? 1 : 0);
+  fold(options.gn2.bak2_middle_branch ? 1 : 0);
+  fold(for_fkf ? 1 : 0);
+  return h;
+}
+
+std::uint64_t canonical_hash(const TaskSet& ts, Device device) noexcept {
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  for (const Task& t : ts) {
+    const std::uint64_t fp = task_fingerprint(t);
+    sum += fp;    // commutative: order-independent by construction
+    xored ^= fp;  // second commutative channel halves accidental collisions
+  }
+  std::uint64_t h = mix64(kHashSalt ^ static_cast<std::uint64_t>(device.width));
+  h = mix64(h ^ static_cast<std::uint64_t>(ts.size()));
+  h = mix64(h ^ sum);
+  h = mix64(h ^ xored);
+  return h;
+}
+
+}  // namespace reconf::analysis

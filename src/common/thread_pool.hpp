@@ -1,7 +1,16 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace reconf {
 
@@ -21,5 +30,61 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
 
 /// Number of worker threads `parallel_for` would use for `requested`.
 [[nodiscard]] unsigned effective_threads(unsigned requested) noexcept;
+
+/// A persistent worker pool for request-serving workloads where the per-call
+/// thread spawn of `parallel_for` would dominate: threads are started once
+/// and reused across every `submit`/`parallel_for` call.
+///
+/// The same determinism contract applies to `parallel_for`: derive all
+/// randomness from the index, never from thread identity or completion
+/// order, and results are identical for any pool size.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 selects the hardware concurrency).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: outstanding jobs are finished, queued jobs still run,
+  /// then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Schedules `fn` on the pool and returns a future for its result.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Block-scheduled index loop on the persistent workers; same semantics as
+  /// the free `parallel_for` (first exception rethrown on the caller) but
+  /// without spawning threads. The calling thread participates, so the loop
+  /// makes progress even while the workers are busy with other jobs.
+  ///
+  /// Must not be called from inside a pool job: the caller waits for its
+  /// helper jobs to be dequeued, which can deadlock when the caller occupies
+  /// the only worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
 
 }  // namespace reconf

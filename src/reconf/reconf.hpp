@@ -20,6 +20,7 @@
 #include "analysis/dp.hpp"
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
+#include "analysis/hash.hpp"
 #include "analysis/overhead.hpp"
 #include "analysis/sensitivity.hpp"
 #include "area2d/gen2d.hpp"
@@ -38,6 +39,10 @@
 #include "placement/column_map.hpp"
 #include "sim/engine.hpp"
 #include "sim/invariants.hpp"
+#include "svc/batch.hpp"
+#include "svc/codec.hpp"
+#include "svc/session.hpp"
+#include "svc/verdict_cache.hpp"
 #include "task/fixtures.hpp"
 #include "task/io.hpp"
 #include "task/task.hpp"

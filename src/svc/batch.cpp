@@ -1,0 +1,51 @@
+#include "svc/batch.hpp"
+
+#include "analysis/composite.hpp"
+#include "analysis/hash.hpp"
+
+namespace reconf::svc {
+
+std::uint64_t verdict_cache_key(const TaskSet& ts, Device device,
+                                const analysis::CompositeOptions& options,
+                                bool for_fkf) noexcept {
+  return analysis::mix64(analysis::canonical_hash(ts, device) ^
+                         analysis::options_fingerprint(options, for_fkf));
+}
+
+BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
+                              const BatchOptions& options) {
+  BatchVerdict out;
+  out.id = request.id;
+  out.hash = verdict_cache_key(request.taskset, request.device,
+                               options.analysis, options.for_fkf);
+
+  if (cache != nullptr) {
+    if (auto cached = cache->lookup(out.hash)) {
+      out.cache_hit = true;
+      out.accepted = cached->accepted;
+      out.accepted_by = std::move(cached->accepted_by);
+      return out;
+    }
+  }
+
+  const auto report = analysis::composite_test(
+      request.taskset, request.device, options.analysis, options.for_fkf);
+  out.accepted = report.accepted();
+  out.accepted_by = report.accepted_by();
+  if (cache != nullptr) {
+    cache->insert(out.hash, CachedVerdict{out.accepted, out.accepted_by});
+  }
+  return out;
+}
+
+std::vector<BatchVerdict> run_batch(std::span<const BatchRequest> requests,
+                                    VerdictCache* cache, ThreadPool& pool,
+                                    const BatchOptions& options) {
+  std::vector<BatchVerdict> results(requests.size());
+  pool.parallel_for(requests.size(), [&](std::size_t i) {
+    results[i] = evaluate_request(requests[i], cache, options);
+  });
+  return results;
+}
+
+}  // namespace reconf::svc

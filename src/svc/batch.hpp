@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/options.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "svc/verdict_cache.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::svc {
+
+/// One independent analysis request in a batch: decide schedulability of
+/// `taskset` on `device`. `id` is an opaque caller tag echoed back in the
+/// response (the NDJSON frontend uses the request's "id" field).
+struct BatchRequest {
+  std::string id;
+  TaskSet taskset;
+  Device device;
+};
+
+/// Verdict for one BatchRequest, at the same index in the output vector.
+///
+/// Determinism contract: `accepted`, `accepted_by` and `hash` depend only on
+/// the request (the analysis is pure), so a batch produces bit-identical
+/// verdict vectors for any worker count. `cache_hit` is a diagnostic and is
+/// NOT deterministic — with duplicates in flight, which duplicate wins the
+/// race to insert depends on scheduling.
+struct BatchVerdict {
+  std::string id;
+  bool accepted = false;
+  std::string accepted_by;
+  std::uint64_t hash = 0;
+  bool cache_hit = false;
+};
+
+struct BatchOptions {
+  analysis::CompositeOptions analysis;
+  bool for_fkf = false;
+};
+
+/// The VerdictCache key for analyzing `ts` on `device` under a given test
+/// configuration: canonical taskset hash mixed with the options fingerprint.
+/// Two callers with different test lineups (e.g. for_fkf on/off) must never
+/// share cache lines — GN1 acceptances are unsound for EDF-FkF.
+[[nodiscard]] std::uint64_t verdict_cache_key(
+    const TaskSet& ts, Device device,
+    const analysis::CompositeOptions& options, bool for_fkf) noexcept;
+
+/// Evaluates every request, fanning out across `pool` and consulting/filling
+/// `cache` (nullptr to always analyze). Results are indexed by request —
+/// response order never depends on completion order.
+[[nodiscard]] std::vector<BatchVerdict> run_batch(
+    std::span<const BatchRequest> requests, VerdictCache* cache,
+    ThreadPool& pool, const BatchOptions& options = {});
+
+/// Single-request path sharing the cache logic of `run_batch` (used by the
+/// streaming frontend when batching is disabled and by run_batch itself).
+[[nodiscard]] BatchVerdict evaluate_request(const BatchRequest& request,
+                                            VerdictCache* cache,
+                                            const BatchOptions& options = {});
+
+}  // namespace reconf::svc

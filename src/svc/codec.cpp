@@ -1,0 +1,461 @@
+#include "svc/codec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "task/io.hpp"
+
+namespace reconf::svc {
+
+namespace {
+
+// ------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser. Hand-rolled because the container
+// bakes no JSON dependency; covers the full value grammar the codec needs
+// (objects, arrays, strings with escapes, integer/real numbers, literals).
+// ------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  long long integer = 0;
+  bool integral = false;  ///< number was written without '.', 'e', fits i64
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& src) : src_(src) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CodecError("json error at byte " + std::to_string(pos_) + ": " +
+                     what);
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
+            src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      JsonValue key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key.text), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        v.text.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) break;
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': v.text.push_back('"'); break;
+        case '\\': v.text.push_back('\\'); break;
+        case '/': v.text.push_back('/'); break;
+        case 'b': v.text.push_back('\b'); break;
+        case 'f': v.text.push_back('\f'); break;
+        case 'n': v.text.push_back('\n'); break;
+        case 'r': v.text.push_back('\r'); break;
+        case 't': v.text.push_back('\t'); break;
+        case 'u': v.text += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = src_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail("surrogate \\u escapes are not supported");
+    }
+    // UTF-8 encode the BMP code point.
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (src_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (src_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("invalid literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (src_.compare(pos_, 4, "null") != 0) fail("invalid literal");
+    pos_ += 4;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNull;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
+    bool digits = false;
+    bool real = false;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        real = real || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail("invalid number");
+    const std::string token = src_.substr(start, pos_ - start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      fail("unparsable number '" + token + "'");
+    }
+    if (!real) {
+      try {
+        std::size_t used = 0;
+        v.integer = std::stoll(token, &used);
+        v.integral = used == token.size();
+      } catch (const std::exception&) {
+        v.integral = false;  // integer-looking but overflows i64
+      }
+    }
+    return v;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- request ----
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw CodecError("bad request: " + what);
+}
+
+long long require_positive_int(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::Kind::kNumber || !v.integral) {
+    bad_request(what + " must be an integer");
+  }
+  if (v.integer <= 0) bad_request(what + " must be positive");
+  return v.integer;
+}
+
+Task parse_task_object(const JsonValue& v, std::size_t index) {
+  const std::string where = "tasks[" + std::to_string(index) + "]";
+  if (v.kind != JsonValue::Kind::kObject) bad_request(where + " must be an object");
+  long long c = 0;
+  long long d = 0;
+  long long t = 0;
+  long long a = 0;
+  bool has_c = false;
+  bool has_d = false;
+  bool has_t = false;
+  bool has_a = false;
+  std::string name;
+  for (const auto& [key, val] : v.members) {
+    if (key == "c") {
+      c = require_positive_int(val, where + ".c");
+      has_c = true;
+    } else if (key == "d") {
+      d = require_positive_int(val, where + ".d");
+      has_d = true;
+    } else if (key == "t") {
+      t = require_positive_int(val, where + ".t");
+      has_t = true;
+    } else if (key == "a") {
+      a = require_positive_int(val, where + ".a");
+      has_a = true;
+    } else if (key == "name") {
+      if (val.kind != JsonValue::Kind::kString) {
+        bad_request(where + ".name must be a string");
+      }
+      name = val.text;
+    } else {
+      bad_request(where + " has unknown key '" + key + "'");
+    }
+  }
+  if (!has_c || !has_d || !has_t || !has_a) {
+    bad_request(where + " requires keys c, d, t, a");
+  }
+  try {
+    return io::make_task_checked(name.empty() ? "-" : name, c, d, t, a, where);
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Body of parse_request_line once the id is known; split out so every
+/// validation failure can be rethrown with the id attached.
+BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
+  BatchRequest out;
+  out.id = std::move(id);
+  const JsonValue* device = nullptr;
+  const JsonValue* tasks = nullptr;
+  const JsonValue* taskset_text = nullptr;
+  for (const auto& [key, val] : doc.members) {
+    if (key == "id") {
+      // already extracted
+    } else if (key == "device") {
+      device = &val;
+    } else if (key == "tasks") {
+      tasks = &val;
+    } else if (key == "taskset") {
+      taskset_text = &val;
+    } else {
+      bad_request("unknown key '" + key + "'");
+    }
+  }
+
+  if (taskset_text != nullptr) {
+    if (tasks != nullptr || device != nullptr) {
+      bad_request("'taskset' excludes 'tasks'/'device'");
+    }
+    if (taskset_text->kind != JsonValue::Kind::kString) {
+      bad_request("taskset must be a string in the task/io.hpp v1 format");
+    }
+    try {
+      io::ParsedTaskSet parsed = io::from_string(taskset_text->text);
+      out.taskset = std::move(parsed.taskset);
+      out.device = parsed.device;
+    } catch (const std::exception& e) {
+      bad_request(e.what());
+    }
+    return out;
+  }
+
+  if (device == nullptr || tasks == nullptr) {
+    bad_request("requires either 'taskset' or both 'device' and 'tasks'");
+  }
+  const long long width = require_positive_int(*device, "device");
+  if (width > std::numeric_limits<Area>::max()) {
+    bad_request("device width out of range");
+  }
+  out.device = Device{static_cast<Area>(width)};
+  if (tasks->kind != JsonValue::Kind::kArray) {
+    bad_request("tasks must be an array");
+  }
+  std::vector<Task> parsed;
+  parsed.reserve(tasks->items.size());
+  for (std::size_t i = 0; i < tasks->items.size(); ++i) {
+    parsed.push_back(parse_task_object(tasks->items[i], i));
+  }
+  out.taskset = TaskSet(std::move(parsed));
+  return out;
+}
+
+}  // namespace
+
+BatchRequest parse_request_line(const std::string& line) {
+  JsonValue doc = JsonParser(line).parse_document();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    bad_request("request line must be a JSON object");
+  }
+
+  // Extract the id before any other validation, so every later failure can
+  // still be answered with a correlatable error response.
+  std::string id;
+  for (const auto& [key, val] : doc.members) {
+    if (key != "id") continue;
+    if (val.kind == JsonValue::Kind::kString) {
+      id = val.text;
+    } else if (val.kind == JsonValue::Kind::kNumber && val.integral) {
+      id = std::to_string(val.integer);
+    } else {
+      bad_request("id must be a string or integer");
+    }
+    break;
+  }
+
+  try {
+    return parse_request_members(doc, id);
+  } catch (const CodecError& e) {
+    throw CodecError(e.what(), id);
+  }
+}
+
+// ------------------------------------------------------------ response ----
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_verdict_line(const BatchVerdict& verdict,
+                                const TaskSet* taskset) {
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(verdict.hash));
+
+  std::string out = "{\"id\":\"" + json_escape(verdict.id) + "\"";
+  out += ",\"verdict\":\"";
+  out += verdict.accepted ? "schedulable" : "inconclusive";
+  out += "\"";
+  if (!verdict.accepted_by.empty()) {
+    out += ",\"accepted_by\":\"" + json_escape(verdict.accepted_by) + "\"";
+  }
+  out += ",\"cache\":\"";
+  out += verdict.cache_hit ? "hit" : "miss";
+  out += "\",\"hash\":\"";
+  out += hash_hex;
+  out += "\"";
+  if (taskset != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",\"n\":%zu,\"ut\":%.6g,\"us\":%.6g",
+                  taskset->size(), taskset->time_utilization(),
+                  taskset->system_utilization());
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_error_line(const std::string& id,
+                              const std::string& message) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"error\":\"" +
+         json_escape(message) + "\"}";
+}
+
+}  // namespace reconf::svc

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "svc/batch.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::svc {
+
+/// Thrown by `parse_request_line` on malformed input. The message names the
+/// offending field or byte offset; the streaming frontend turns it into an
+/// error response instead of dropping the connection. `id()` carries the
+/// request's id whenever the line was valid JSON with a readable id, so
+/// error responses stay correlatable for pipelining clients.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what, std::string id = {})
+      : std::runtime_error(what), id_(std::move(id)) {}
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+ private:
+  std::string id_;
+};
+
+/// NDJSON request format — one JSON object per line:
+///
+///   {"id":"r1","device":100,"tasks":[{"c":126,"d":700,"t":700,"a":9},...]}
+///   {"id":"r2","taskset":"taskset v1\ndevice 100\ntask - 126 700 700 9\n"}
+///
+/// Fields:
+///   id       optional string (or integer, stringified); echoed in responses
+///   device   positive integer column count A(H); required with "tasks"
+///   tasks    array of objects with required positive-integer keys
+///            c (WCET ticks), d (deadline ticks), t (period ticks),
+///            a (area columns) and an optional string "name"
+///   taskset  alternative to device+tasks: the task/io.hpp v1 text format
+///            embedded as one JSON string (layered on io::from_string)
+///
+/// Unknown top-level or per-task keys are rejected — a typo'd "perid" must
+/// not silently analyze a default, for the same reason the analysis refuses
+/// unsound configurations instead of guessing.
+[[nodiscard]] BatchRequest parse_request_line(const std::string& line);
+
+/// Response line for one verdict:
+///
+///   {"id":"r1","verdict":"schedulable","accepted_by":"DP","cache":"hit",
+///    "hash":"59a0e6...","n":3,"ut":0.91,"us":27.4}
+///
+/// `taskset` supplies the n/ut/us diagnostics; pass nullptr to omit them
+/// (e.g. when echoing a cached verdict without rebuilding the set).
+[[nodiscard]] std::string format_verdict_line(const BatchVerdict& verdict,
+                                              const TaskSet* taskset);
+
+/// Error response line: {"id":"r1","error":"<message>"}.
+[[nodiscard]] std::string format_error_line(const std::string& id,
+                                            const std::string& message);
+
+/// JSON string-body escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace reconf::svc

@@ -1,0 +1,99 @@
+#include "svc/verdict_cache.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace reconf::svc {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  // Never more shards than capacity slots: a 3-entry cache with 16 shards
+  // would otherwise degrade to per-key direct-mapped eviction.
+  std::size_t want = round_up_pow2(std::max<std::size_t>(1, shards));
+  if (capacity_ > 0) {
+    while (want > 1 && want > capacity_) want >>= 1;
+  }
+  shard_mask_ = want - 1;
+  shards_.reserve(want);
+  for (std::size_t s = 0; s < want; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + want - 1) / want;
+}
+
+std::optional<CachedVerdict> VerdictCache::lookup(std::uint64_t key) {
+  Shard& sh = shard_for(key);
+  const std::lock_guard<std::mutex> lock(sh.mutex);
+  const auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    ++sh.misses;
+    return std::nullopt;
+  }
+  ++sh.hits;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void VerdictCache::insert(std::uint64_t key, CachedVerdict verdict) {
+  if (per_shard_capacity_ == 0) return;  // cache disabled
+  Shard& sh = shard_for(key);
+  const std::lock_guard<std::mutex> lock(sh.mutex);
+  const auto it = sh.index.find(key);
+  if (it != sh.index.end()) {
+    it->second->second = std::move(verdict);
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return;
+  }
+  if (sh.lru.size() >= per_shard_capacity_) {
+    const auto& victim = sh.lru.back();
+    sh.index.erase(victim.first);
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+  sh.lru.emplace_front(key, std::move(verdict));
+  sh.index.emplace(key, sh.lru.begin());
+  ++sh.insertions;
+  RECONF_ENSURES(sh.lru.size() == sh.index.size());
+}
+
+CacheStats VerdictCache::stats() const {
+  CacheStats out;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    out.hits += sh->hits;
+    out.misses += sh->misses;
+    out.insertions += sh->insertions;
+    out.evictions += sh->evictions;
+  }
+  return out;
+}
+
+std::size_t VerdictCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    n += sh->lru.size();
+  }
+  return n;
+}
+
+void VerdictCache::clear() {
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    sh->lru.clear();
+    sh->index.clear();
+  }
+}
+
+}  // namespace reconf::svc

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace reconf::svc {
+
+/// The cacheable part of a composite verdict: everything the admission path
+/// needs to answer a repeated request without re-running the tests. The full
+/// per-task diagnostics are deliberately not cached — they are large, and a
+/// caller that wants them re-analyzes (see AdmissionSession::try_admit).
+struct CachedVerdict {
+  bool accepted = false;
+  /// Name of the first accepting test ("DP"/"GN1"/"GN2"), empty on reject.
+  std::string accepted_by;
+};
+
+/// Monotonic counters aggregated over all shards.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Sharded, striped-lock LRU cache from analysis-problem key to verdict.
+///
+/// Keys are `svc::verdict_cache_key` values (canonical taskset hash mixed
+/// with the test-configuration fingerprint) — already uniformly mixed, so
+/// the shard index is just the low bits and the intra-shard hash map can use
+/// the identity hash. Each shard holds an independent LRU list under its own
+/// mutex; concurrent lookups on different shards never contend, and the
+/// verdict-serving hot path (bench_service) scales with the shard count.
+///
+/// A capacity of 0 disables the cache: lookups miss, inserts are dropped.
+/// Total capacity is split evenly across shards, so per-shard eviction
+/// approximates (not exactly equals) global LRU — the standard trade-off.
+class VerdictCache {
+ public:
+  /// `shards` is rounded up to a power of two; at most one shard per
+  /// capacity slot is kept so tiny caches still evict in LRU order.
+  explicit VerdictCache(std::size_t capacity, std::size_t shards = 16);
+
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  /// Returns the cached verdict and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<CachedVerdict> lookup(std::uint64_t key);
+
+  /// Inserts or refreshes `key`, evicting the shard's least recently used
+  /// entry when the shard is full.
+  void insert(std::uint64_t key, CachedVerdict verdict);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// Drops all entries; statistics counters are kept.
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used. The map points into this list.
+    std::list<std::pair<std::uint64_t, CachedVerdict>> lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::pair<std::uint64_t, CachedVerdict>>::
+                           iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept {
+    return *shards_[key & shard_mask_];
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace reconf::svc

@@ -1,6 +1,7 @@
 #include "task/io.hpp"
 
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -16,6 +17,24 @@ namespace {
 }
 
 }  // namespace
+
+Task make_task_checked(const std::string& name, long long wcet,
+                       long long deadline, long long period, long long area,
+                       const std::string& context) {
+  if (wcet <= 0 || deadline <= 0 || period <= 0 || area <= 0) {
+    throw std::runtime_error(context + ": task parameters must be positive");
+  }
+  if (area > std::numeric_limits<Area>::max()) {
+    throw std::runtime_error(context + ": area out of range");
+  }
+  Task t;
+  t.name = name == "-" ? std::string{} : name;
+  t.wcet = wcet;
+  t.deadline = deadline;
+  t.period = period;
+  t.area = static_cast<Area>(area);
+  return t;
+}
 
 void write_taskset(std::ostream& os, const TaskSet& ts, Device device) {
   os << "taskset v1\n";
@@ -67,14 +86,13 @@ ParsedTaskSet read_taskset(std::istream& is) {
       if (!(ls >> name >> c >> d >> p >> area)) {
         parse_error(line_no, "expected 'task <name> <C> <D> <T> <A>'");
       }
-      if (c <= 0 || d <= 0 || p <= 0 || area <= 0) {
-        parse_error(line_no, "task parameters must be positive");
+      try {
+        t = make_task_checked(name, c, d, p, area,
+                              "line " + std::to_string(line_no));
+      } catch (const std::exception& e) {
+        throw std::runtime_error(std::string("taskset parse error at ") +
+                                 e.what());
       }
-      t.name = name == "-" ? std::string{} : name;
-      t.wcet = c;
-      t.deadline = d;
-      t.period = p;
-      t.area = static_cast<Area>(area);
       tasks.push_back(std::move(t));
     } else {
       parse_error(line_no, "unknown directive '" + word + "'");

@@ -30,6 +30,16 @@ struct ParsedTaskSet {
 /// with a line-numbered message on malformed input.
 [[nodiscard]] ParsedTaskSet read_taskset(std::istream& is);
 
+/// Builds a task from raw tick/area values with the validation every ingest
+/// path must apply (all parameters positive, area within Area's range).
+/// Throws std::runtime_error naming `context` on violation. Shared by the v1
+/// text parser above and the svc NDJSON codec. A `name` of "-" means unnamed,
+/// matching the v1 serialization.
+[[nodiscard]] Task make_task_checked(const std::string& name, long long wcet,
+                                     long long deadline, long long period,
+                                     long long area,
+                                     const std::string& context);
+
 [[nodiscard]] ParsedTaskSet from_string(const std::string& text);
 
 /// Human-readable table (paper units) for logs and examples.

@@ -171,9 +171,11 @@ TEST(CompositeVariants, MemberOptionsPropagate) {
   // With the printed '≤' GN2 accepts Table 1 in exact arithmetic; in the
   // double path the tolerance-guarded strict comparison stays rejecting,
   // so toggle through the option to confirm it reaches the evaluator.
+  CompositeOptions gn2_only;
+  gn2_only.use_dp = false;
+  gn2_only.use_gn1 = false;
   const auto strict =
-      composite_test(paper_table1(), paper_device_small(), CompositeOptions{
-          .use_dp = false, .use_gn1 = false});
+      composite_test(paper_table1(), paper_device_small(), gn2_only);
   EXPECT_FALSE(strict.accepted());
   // (Exact-path behaviour of the printed inequality is covered in
   // analysis_tables_test.)

@@ -1,0 +1,183 @@
+// Tests for the NDJSON request/response codec of the admission service.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/batch.hpp"
+#include "svc/codec.hpp"
+#include "task/io.hpp"
+#include "task/task.hpp"
+
+namespace reconf {
+namespace {
+
+// ------------------------------------------------------------ parsing ----
+
+TEST(CodecParse, InlineTasksForm) {
+  const auto req = svc::parse_request_line(
+      R"({"id":"r1","device":100,"tasks":[)"
+      R"({"c":126,"d":700,"t":700,"a":9,"name":"fir"},)"
+      R"({"c":200,"d":500,"t":500,"a":7}]})");
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.device.width, 100);
+  ASSERT_EQ(req.taskset.size(), 2u);
+  EXPECT_EQ(req.taskset[0].wcet, 126);
+  EXPECT_EQ(req.taskset[0].deadline, 700);
+  EXPECT_EQ(req.taskset[0].period, 700);
+  EXPECT_EQ(req.taskset[0].area, 9);
+  EXPECT_EQ(req.taskset[0].name, "fir");
+  EXPECT_EQ(req.taskset[1].name, "");
+}
+
+TEST(CodecParse, EmbeddedTasksetForm) {
+  const auto req = svc::parse_request_line(
+      R"({"id":7,"taskset":"taskset v1\ndevice 10\ntask t1 210 500 500 7\n"})");
+  EXPECT_EQ(req.id, "7");  // integer ids are stringified
+  EXPECT_EQ(req.device.width, 10);
+  ASSERT_EQ(req.taskset.size(), 1u);
+  EXPECT_EQ(req.taskset[0].name, "t1");
+  EXPECT_EQ(req.taskset[0].wcet, 210);
+}
+
+TEST(CodecParse, RoundTripsThroughIoWriter) {
+  // Any taskset the v1 writer emits must be acceptable as an embedded
+  // "taskset" payload — the codec is layered on task/io.hpp.
+  const TaskSet ts({make_task(2.10, 5, 5, 7, "a"), make_task(3.00, 10, 10, 6)});
+  const Device dev{10};
+  const std::string text = io::to_string(ts, dev);
+  const std::string line =
+      "{\"id\":\"rt\",\"taskset\":\"" + svc::json_escape(text) + "\"}";
+  const auto req = svc::parse_request_line(line);
+  EXPECT_EQ(req.device.width, dev.width);
+  ASSERT_EQ(req.taskset.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(req.taskset[i].wcet, ts[i].wcet);
+    EXPECT_EQ(req.taskset[i].deadline, ts[i].deadline);
+    EXPECT_EQ(req.taskset[i].period, ts[i].period);
+    EXPECT_EQ(req.taskset[i].area, ts[i].area);
+    EXPECT_EQ(req.taskset[i].name, ts[i].name);
+  }
+}
+
+TEST(CodecParse, MissingIdDefaultsToEmpty) {
+  const auto req = svc::parse_request_line(
+      R"({"device":10,"tasks":[{"c":1,"d":2,"t":2,"a":1}]})");
+  EXPECT_EQ(req.id, "");
+  EXPECT_EQ(req.taskset.size(), 1u);
+}
+
+TEST(CodecParse, StringEscapes) {
+  const auto req = svc::parse_request_line(
+      R"({"id":"a\"b\\cA","device":10,"tasks":[]})");
+  EXPECT_EQ(req.id, "a\"b\\cA");
+  EXPECT_TRUE(req.taskset.empty());
+}
+
+void expect_rejected(const std::string& line, const std::string& fragment) {
+  try {
+    (void)svc::parse_request_line(line);
+    FAIL() << "expected CodecError for: " << line;
+  } catch (const svc::CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(CodecParse, RejectsMalformedInput) {
+  expect_rejected("", "unexpected end");
+  expect_rejected("not json", "invalid literal");
+  expect_rejected("[1,2,3]", "must be a JSON object");
+  expect_rejected(R"({"id":"x"})", "requires either");
+  expect_rejected(R"({"device":10})", "requires either");
+  expect_rejected(R"({"device":10,"tasks":[]} trailing)", "trailing");
+  expect_rejected(R"({"device":0,"tasks":[]})", "device must be positive");
+  expect_rejected(R"({"device":-4,"tasks":[]})", "device must be positive");
+  expect_rejected(R"({"device":10.5,"tasks":[]})", "must be an integer");
+  expect_rejected(R"({"device":9999999999,"tasks":[]})", "out of range");
+  expect_rejected(R"({"device":10,"tasks":{}})", "tasks must be an array");
+  expect_rejected(R"({"device":10,"tasks":[[1,2,3,4]]})", "must be an object");
+  expect_rejected(R"({"device":10,"tasks":[{"c":1,"d":2,"t":2}]})",
+                  "requires keys");
+  expect_rejected(R"({"device":10,"tasks":[{"c":-1,"d":2,"t":2,"a":1}]})",
+                  "must be positive");
+  expect_rejected(R"({"device":10,"tasks":[{"c":1.5,"d":2,"t":2,"a":1}]})",
+                  "must be an integer");
+  expect_rejected(
+      R"({"device":10,"tasks":[{"c":1,"d":2,"perid":2,"a":1}]})",
+      "unknown key");
+  expect_rejected(R"({"device":10,"tasks":[],"taskset":"x"})", "excludes");
+  expect_rejected(R"({"taskset":"garbage"})", "parse error");
+  expect_rejected(R"({"taskset":42})", "must be a string");
+  expect_rejected(R"({"frobnicate":1,"device":10,"tasks":[]})", "unknown key");
+  expect_rejected(R"({"id":"x","device":10,"tasks":[)", "unexpected end");
+  expect_rejected("{\"id\":\"\x01\",\"device\":10,\"tasks\":[]}",
+                  "control character");
+}
+
+TEST(CodecParse, ErrorsCarryRequestIdWhenRecoverable) {
+  try {
+    (void)svc::parse_request_line(
+        R"({"id":"r7","device":100,"tasks":[{"c":0,"d":2,"t":2,"a":1}]})");
+    FAIL() << "expected CodecError";
+  } catch (const svc::CodecError& e) {
+    EXPECT_EQ(e.id(), "r7");
+  }
+  // id declared after the failing field must still be recovered.
+  try {
+    (void)svc::parse_request_line(R"({"device":-1,"tasks":[],"id":"late"})");
+    FAIL() << "expected CodecError";
+  } catch (const svc::CodecError& e) {
+    EXPECT_EQ(e.id(), "late");
+  }
+  // Invalid JSON: no id is recoverable.
+  try {
+    (void)svc::parse_request_line("{broken");
+    FAIL() << "expected CodecError";
+  } catch (const svc::CodecError& e) {
+    EXPECT_EQ(e.id(), "");
+  }
+}
+
+// --------------------------------------------------------- responses ----
+
+TEST(CodecFormat, VerdictLineContainsAllFields) {
+  svc::BatchVerdict v;
+  v.id = "r\"1";
+  v.accepted = true;
+  v.accepted_by = "GN2";
+  v.hash = 0xABCDEF0123456789ull;
+  v.cache_hit = true;
+  const TaskSet ts({make_task(2.10, 5, 5, 7)});
+  const std::string line = svc::format_verdict_line(v, &ts);
+
+  EXPECT_NE(line.find(R"("id":"r\"1")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("verdict":"schedulable")"), std::string::npos);
+  EXPECT_NE(line.find(R"("accepted_by":"GN2")"), std::string::npos);
+  EXPECT_NE(line.find(R"("cache":"hit")"), std::string::npos);
+  EXPECT_NE(line.find(R"("hash":"abcdef0123456789")"), std::string::npos);
+  EXPECT_NE(line.find(R"("n":1)"), std::string::npos);
+}
+
+TEST(CodecFormat, RejectionOmitsAcceptedBy) {
+  svc::BatchVerdict v;
+  v.id = "r2";
+  const std::string line = svc::format_verdict_line(v, nullptr);
+  EXPECT_NE(line.find(R"("verdict":"inconclusive")"), std::string::npos);
+  EXPECT_EQ(line.find("accepted_by"), std::string::npos);
+  EXPECT_NE(line.find(R"("cache":"miss")"), std::string::npos);
+  EXPECT_EQ(line.find("\"n\":"), std::string::npos);
+}
+
+TEST(CodecFormat, ErrorLine) {
+  const std::string line = svc::format_error_line("x", "bad \"stuff\"\n");
+  EXPECT_EQ(line, R"({"id":"x","error":"bad \"stuff\"\n"})");
+}
+
+TEST(CodecFormat, JsonEscapeControlCharacters) {
+  EXPECT_EQ(svc::json_escape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(svc::json_escape("tab\there"), "tab\\there");
+}
+
+}  // namespace
+}  // namespace reconf

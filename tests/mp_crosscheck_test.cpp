@@ -113,10 +113,15 @@ INSTANTIATE_TEST_SUITE_P(
     RandomCpuTasksets, CrossSweep, ::testing::ValuesIn(cross_cases()),
     [](const ::testing::TestParamInfo<CrossCase>& info) {
       const CrossCase& c = info.param;
-      return "m" + std::to_string(c.processors) + "_n" +
-             std::to_string(c.num_tasks) + "_u" +
-             std::to_string(static_cast<int>(c.target_ut * 10)) + "_s" +
-             std::to_string(c.seed & 0xFFFF);
+      std::string name = "m";
+      name += std::to_string(c.processors);
+      name += "_n";
+      name += std::to_string(c.num_tasks);
+      name += "_u";
+      name += std::to_string(static_cast<int>(c.target_ut * 10));
+      name += "_s";
+      name += std::to_string(c.seed & 0xFFFF);
+      return name;
     });
 
 // ---------------------------------------------------------------- directed --

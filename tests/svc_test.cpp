@@ -1,0 +1,430 @@
+// Tests for the admission-control service subsystem: canonical hashing,
+// the sharded LRU verdict cache, the incremental AdmissionSession, and the
+// batch pipeline's determinism contract.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/composite.hpp"
+#include "analysis/hash.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "gen/generator.hpp"
+#include "svc/batch.hpp"
+#include "svc/session.hpp"
+#include "svc/verdict_cache.hpp"
+#include "task/task.hpp"
+
+namespace reconf {
+namespace {
+
+TaskSet table3_taskset() {
+  return TaskSet({make_task(2.10, 5, 5, 7, "t1"), make_task(2.00, 7, 7, 7, "t2"),
+                  make_task(3.00, 10, 10, 6, "t3")});
+}
+
+// ------------------------------------------------------------ hashing ----
+
+TEST(CanonicalHash, StableAcrossTaskReordering) {
+  const Device dev{10};
+  const std::vector<Task> tasks = {make_task(2.10, 5, 5, 7),
+                                   make_task(2.00, 7, 7, 7),
+                                   make_task(3.00, 10, 10, 6)};
+  std::vector<Task> perm = tasks;
+  std::sort(perm.begin(), perm.end(),
+            [](const Task& a, const Task& b) { return a.wcet < b.wcet; });
+  std::reverse(perm.begin(), perm.end());
+
+  const auto h1 = analysis::canonical_hash(TaskSet(tasks), dev);
+  const auto h2 = analysis::canonical_hash(TaskSet(perm), dev);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(CanonicalHash, IgnoresTaskNames) {
+  const Device dev{10};
+  const TaskSet named({make_task(2.10, 5, 5, 7, "alpha")});
+  const TaskSet anon({make_task(2.10, 5, 5, 7)});
+  EXPECT_EQ(analysis::canonical_hash(named, dev),
+            analysis::canonical_hash(anon, dev));
+}
+
+TEST(CanonicalHash, SensitiveToEveryParameterAndDevice) {
+  const Device dev{10};
+  const TaskSet base({make_task(2.10, 5, 5, 7)});
+  const auto h = analysis::canonical_hash(base, dev);
+
+  EXPECT_NE(h, analysis::canonical_hash(TaskSet({make_task(2.11, 5, 5, 7)}),
+                                        dev));
+  EXPECT_NE(h, analysis::canonical_hash(TaskSet({make_task(2.10, 4, 5, 7)}),
+                                        dev));
+  EXPECT_NE(h, analysis::canonical_hash(TaskSet({make_task(2.10, 5, 6, 7)}),
+                                        dev));
+  EXPECT_NE(h, analysis::canonical_hash(TaskSet({make_task(2.10, 5, 5, 8)}),
+                                        dev));
+  EXPECT_NE(h, analysis::canonical_hash(base, Device{11}));
+}
+
+TEST(CanonicalHash, FieldSwapBetweenTasksChangesHash) {
+  // A single commutative accumulator over raw fields would collide these:
+  // the per-task SplitMix64 chaining must not.
+  const Device dev{10};
+  const TaskSet a(
+      {make_task(2.00, 5, 5, 7), make_task(3.00, 7, 7, 6)});
+  const TaskSet b(
+      {make_task(3.00, 5, 5, 7), make_task(2.00, 7, 7, 6)});
+  EXPECT_NE(analysis::canonical_hash(a, dev), analysis::canonical_hash(b, dev));
+}
+
+TEST(CanonicalHash, DistinguishesDuplicateCounts) {
+  // xor alone would cancel a repeated task; the sum channel must not.
+  const Device dev{10};
+  const Task t = make_task(1.00, 9, 9, 2);
+  const TaskSet two({t, t});
+  const TaskSet four({t, t, t, t});
+  EXPECT_NE(analysis::canonical_hash(two, dev),
+            analysis::canonical_hash(four, dev));
+}
+
+// -------------------------------------------------------------- cache ----
+
+TEST(VerdictCache, MissThenHit) {
+  svc::VerdictCache cache(8, 1);
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  cache.insert(42, {true, "DP"});
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->accepted);
+  EXPECT_EQ(hit->accepted_by, "DP");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(VerdictCache, EvictsLeastRecentlyUsed) {
+  svc::VerdictCache cache(2, 1);  // one shard => exact LRU
+  cache.insert(1, {true, "DP"});
+  cache.insert(2, {false, ""});
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 is now most recent
+  cache.insert(3, {true, "GN2"});            // evicts 2
+
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(VerdictCache, ReinsertRefreshesInsteadOfDuplicating) {
+  svc::VerdictCache cache(2, 1);
+  cache.insert(1, {false, ""});
+  cache.insert(1, {true, "GN1"});
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->accepted);
+  EXPECT_EQ(hit->accepted_by, "GN1");
+}
+
+TEST(VerdictCache, ZeroCapacityDisablesCaching) {
+  svc::VerdictCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(7, {true, "DP"});
+  EXPECT_FALSE(cache.lookup(7).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VerdictCache, ShardCountNeverExceedsCapacity) {
+  svc::VerdictCache tiny(3, 16);
+  EXPECT_LE(tiny.shard_count(), 2u);
+  svc::VerdictCache wide(1024, 16);
+  EXPECT_EQ(wide.shard_count(), 16u);
+  svc::VerdictCache rounded(1024, 5);
+  EXPECT_EQ(rounded.shard_count(), 8u);
+}
+
+TEST(VerdictCache, ClearDropsEntriesKeepsStats) {
+  svc::VerdictCache cache(8);
+  cache.insert(1, {true, "DP"});
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(VerdictCache, ConcurrentMixedLoadStaysConsistent) {
+  svc::VerdictCache cache(128, 8);
+  parallel_for(
+      4096,
+      [&](std::size_t i) {
+        const auto key = derive_seed(99, i % 200);
+        if (auto hit = cache.lookup(key)) {
+          // Value must always be the one every writer stores for this key.
+          EXPECT_EQ(hit->accepted, key % 2 == 0);
+        } else {
+          cache.insert(key, {key % 2 == 0, key % 2 == 0 ? "DP" : ""});
+        }
+      },
+      8);
+  EXPECT_LE(cache.size(), 128u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4096u);
+}
+
+// ------------------------------------------------------------ session ----
+
+TEST(AdmissionSession, MatchesDirectCompositeTest) {
+  const Device dev{10};
+  svc::AdmissionSession session(dev);
+  const auto ts = table3_taskset();
+
+  std::vector<Task> admitted_so_far;
+  for (const Task& t : ts) {
+    std::vector<Task> trial = admitted_so_far;
+    trial.push_back(t);
+    const bool expect =
+        analysis::composite_test(TaskSet(trial), dev).accepted();
+    const auto decision = session.try_admit(t);
+    EXPECT_EQ(decision.admitted, expect);
+    EXPECT_FALSE(decision.cache_hit);
+    ASSERT_TRUE(decision.report.has_value());
+    if (decision.admitted) admitted_so_far.push_back(t);
+  }
+  EXPECT_EQ(session.admitted().size(), admitted_so_far.size());
+}
+
+TEST(AdmissionSession, RejectionLeavesAdmittedSetUntouched) {
+  const Device dev{5};
+  svc::AdmissionSession session(dev);
+  ASSERT_TRUE(session.try_admit(make_task(1.00, 5, 5, 3)).admitted);
+  // Area 6 exceeds the device: infeasible, every test rejects.
+  const auto decision = session.try_admit(make_task(1.00, 5, 5, 6));
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_TRUE(decision.accepted_by.empty());
+  EXPECT_EQ(session.admitted().size(), 1u);
+  EXPECT_EQ(session.stats().rejected, 1u);
+}
+
+TEST(AdmissionSession, RemoveThenReadmitHitsCache) {
+  const Device dev{10};
+  svc::VerdictCache cache(64);
+  svc::AdmissionSession session(dev, &cache);
+
+  const Task t1 = make_task(2.10, 5, 5, 7, "t1");
+  const Task t2 = make_task(2.00, 7, 7, 7, "t2");
+  ASSERT_TRUE(session.try_admit(t1).admitted);
+  ASSERT_TRUE(session.try_admit(t2).admitted);
+
+  ASSERT_TRUE(session.remove(t2));
+  EXPECT_EQ(session.admitted().size(), 1u);
+
+  // Same configuration as the first t2 admission => cache hit, same verdict.
+  const auto again = session.try_admit(t2);
+  EXPECT_TRUE(again.admitted);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_FALSE(again.report.has_value());
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+}
+
+TEST(AdmissionSession, RemoveMatchesFullIdentity) {
+  const Device dev{10};
+  svc::AdmissionSession session(dev);
+  const Task named = make_task(1.00, 9, 9, 2, "mine");
+  ASSERT_TRUE(session.try_admit(named).admitted);
+
+  Task other = named;
+  other.name = "theirs";
+  EXPECT_FALSE(session.remove(other));
+  EXPECT_TRUE(session.remove(named));
+  EXPECT_TRUE(session.admitted().empty());
+  EXPECT_FALSE(session.remove_at(0));
+}
+
+TEST(AdmissionSession, SharedCacheIsolatesTestConfigurations) {
+  // A cached EDF-NF acceptance (GN1 is in the lineup) must never be served
+  // to a for_fkf session — GN1 is unsound for EDF-FkF. The cache key mixes
+  // in the configuration fingerprint, so the for_fkf session re-analyzes.
+  const Device dev{20};
+  svc::VerdictCache cache(64);
+  svc::AdmissionSession nf(dev, &cache);
+  svc::AdmissionSession fkf(dev, &cache, {}, /*for_fkf=*/true);
+
+  const auto ts = table3_taskset();
+  for (const Task& t : ts) {
+    const auto nf_decision = nf.try_admit(t);
+    const auto fkf_decision = fkf.try_admit(t);
+    EXPECT_FALSE(fkf_decision.cache_hit)
+        << "for_fkf verdicts must not come from the EDF-NF cache lines";
+    EXPECT_NE(nf_decision.hash, fkf_decision.hash);
+    // The FkF-sound subset excludes GN1 entirely.
+    if (fkf_decision.admitted) {
+      EXPECT_NE(fkf_decision.accepted_by, "GN1");
+    }
+  }
+}
+
+TEST(BatchPipeline, CacheKeyCoversAnalysisOptions) {
+  svc::BatchRequest request;
+  request.id = "k";
+  request.taskset = table3_taskset();
+  request.device = Device{20};
+
+  svc::VerdictCache cache(64);
+  svc::BatchOptions nf;
+  const auto first = svc::evaluate_request(request, &cache, nf);
+  EXPECT_FALSE(first.cache_hit);
+
+  svc::BatchOptions gn2_only;
+  gn2_only.analysis.use_dp = false;
+  gn2_only.analysis.use_gn1 = false;
+  const auto other = svc::evaluate_request(request, &cache, gn2_only);
+  EXPECT_FALSE(other.cache_hit) << "different options must miss";
+  EXPECT_NE(other.hash, first.hash);
+
+  const auto repeat = svc::evaluate_request(request, &cache, nf);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.accepted, first.accepted);
+}
+
+TEST(AdmissionSession, SharedCacheServesSecondSession) {
+  const Device dev{10};
+  svc::VerdictCache cache(64);
+  svc::AdmissionSession first(dev, &cache);
+  const auto ts = table3_taskset();
+  for (const Task& t : ts) first.try_admit(t);
+
+  svc::AdmissionSession second(dev, &cache);
+  for (const Task& t : ts) {
+    const auto decision = second.try_admit(t);
+    EXPECT_TRUE(decision.cache_hit) << "replay should be served from cache";
+  }
+}
+
+// ----------------------------------------------------- batch pipeline ----
+
+TEST(BatchPipeline, IdenticalResultsForOneAndManyThreads) {
+  std::vector<svc::BatchRequest> requests;
+  requests.reserve(96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    gen::GenRequest req;
+    req.profile = gen::GenProfile::unconstrained(6);
+    req.seed = derive_seed(7, i % 3 == 0 ? i / 3 : 1000 + i);
+    auto ts = gen::generate(req);
+    ASSERT_TRUE(ts.has_value());
+    svc::BatchRequest r;
+    r.id = std::to_string(i);
+    r.taskset = std::move(*ts);
+    r.device = Device{100};
+    requests.push_back(std::move(r));
+  }
+
+  auto run_with_threads = [&](unsigned threads) {
+    svc::VerdictCache cache(1024);
+    ThreadPool pool(threads);
+    return svc::run_batch(requests, &cache, pool, {});
+  };
+
+  const auto serial = run_with_threads(1);
+  ASSERT_EQ(serial.size(), requests.size());
+  for (const unsigned threads : {2u, 8u}) {
+    const auto parallel = run_with_threads(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].id, serial[i].id);
+      EXPECT_EQ(parallel[i].accepted, serial[i].accepted) << "request " << i;
+      EXPECT_EQ(parallel[i].accepted_by, serial[i].accepted_by)
+          << "request " << i;
+      EXPECT_EQ(parallel[i].hash, serial[i].hash) << "request " << i;
+    }
+  }
+}
+
+TEST(BatchPipeline, CacheDoesNotChangeVerdicts) {
+  std::vector<svc::BatchRequest> requests;
+  for (std::size_t i = 0; i < 32; ++i) {
+    gen::GenRequest req;
+    req.profile = gen::GenProfile::unconstrained(5);
+    req.seed = derive_seed(21, i / 2);  // every taskset appears twice
+    auto ts = gen::generate(req);
+    ASSERT_TRUE(ts.has_value());
+    svc::BatchRequest r;
+    r.id = std::to_string(i);
+    r.taskset = std::move(*ts);
+    r.device = Device{100};
+    requests.push_back(std::move(r));
+  }
+
+  ThreadPool pool(4);
+  svc::VerdictCache cache(64);
+  const auto cached = svc::run_batch(requests, &cache, pool, {});
+  const auto uncached = svc::run_batch(requests, nullptr, pool, {});
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].accepted, uncached[i].accepted);
+    EXPECT_EQ(cached[i].accepted_by, uncached[i].accepted_by);
+    EXPECT_EQ(cached[i].hash, uncached[i].hash);
+  }
+  // Duplicated tasksets must be visible as hits once warm.
+  const auto warm = svc::run_batch(requests, &cache, pool, {});
+  (void)warm;
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolClass, SubmitReturnsFutureResult) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolClass, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolClass, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolClass, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolClass, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(100, [&](std::size_t) { sum.fetch_add(1); });
+    ASSERT_EQ(sum.load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace reconf

@@ -1,0 +1,240 @@
+// reconf_serve — streaming admission-control frontend: reads NDJSON analysis
+// requests from a file or stdin, answers each with an NDJSON verdict line on
+// stdout, and keeps a sharded LRU verdict cache so repeated tasksets skip
+// re-analysis entirely (see src/svc/).
+//
+//   reconf_serve [<requests.ndjson>] [--threads=N] [--batch=N]
+//                [--cache-capacity=N] [--no-cache] [--shards=N]
+//                [--fkf] [--stats]
+//
+//   --threads=N         worker threads for the batch pipeline (0 = cores)
+//   --batch=N           requests evaluated per pipeline wave (default 256;
+//                       1 degenerates to sequential request/response)
+//   --cache-capacity=N  verdict cache entries (default 65536)
+//   --no-cache          disable the cache (every request re-analyzes)
+//   --shards=N          cache shard count (default 16)
+//   --fkf               restrict to the EDF-FkF-sound tests (DP, GN2)
+//   --stats             print throughput and cache statistics to stderr
+//
+// Request/response format: see src/svc/codec.hpp. Malformed lines produce
+// an {"id":...,"error":...} response and the stream continues — one bad
+// client request must not take down the verdict service.
+//
+//   $ echo '{"id":"q","device":100,"tasks":[{"c":126,"a":9,...}]}' | ./reconf_serve --stats
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "svc/batch.hpp"
+#include "svc/codec.hpp"
+#include "svc/verdict_cache.hpp"
+
+namespace {
+
+using namespace reconf;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: reconf_serve [<requests.ndjson>] [--threads=N] "
+               "[--batch=N]\n"
+               "                    [--cache-capacity=N] [--no-cache] "
+               "[--shards=N] [--fkf] [--stats]\n"
+               "see the header of tools/reconf_serve.cpp for details\n");
+  return 2;
+}
+
+/// Returns the value of `--name=V`, nullopt when absent; exits with usage
+/// when V is not an integer (a typo'd value must not silently become the
+/// default).
+std::optional<long long> flag_int(const std::vector<std::string>& args,
+                                  const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (const std::string& a : args) {
+    if (a.rfind(prefix, 0) == 0) {
+      const std::string value = a.substr(prefix.size());
+      try {
+        std::size_t used = 0;
+        const long long parsed = std::stoll(value, &used);
+        if (used == value.size()) return parsed;
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "invalid value for --%s: '%s'\n", name.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+  return std::nullopt;
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (const std::string& a : args) {
+    if (a == bare) return true;
+  }
+  return false;
+}
+
+struct PendingLine {
+  std::string id;          // best-effort id for error responses
+  std::string error;       // parse failure, when non-empty
+  svc::BatchRequest request;
+};
+
+/// Parses one input line; on CodecError the response slot carries the error
+/// plus whatever id the codec could recover, keeping error responses
+/// correlatable for pipelining clients.
+PendingLine ingest(const std::string& line) {
+  PendingLine p;
+  try {
+    p.request = svc::parse_request_line(line);
+    p.id = p.request.id;
+  } catch (const svc::CodecError& e) {
+    p.error = e.what();
+    p.id = e.id();
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string input_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      static const char* known[] = {"--threads=",        "--batch=",
+                                    "--cache-capacity=", "--shards=",
+                                    "--no-cache",        "--fkf",
+                                    "--stats"};
+      bool ok = false;
+      for (const char* k : known) {
+        const std::string key = k;
+        ok = ok || a == key || (key.back() == '=' && a.rfind(key, 0) == 0);
+      }
+      if (!ok) {
+        std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+        return usage();
+      }
+      args.push_back(a);
+    } else if (input_path.empty()) {
+      input_path = a;
+    } else {
+      return usage();
+    }
+  }
+
+  const long long batch_size = flag_int(args, "batch").value_or(256);
+  const long long cache_capacity =
+      has_flag(args, "no-cache") ? 0
+                                 : flag_int(args, "cache-capacity")
+                                       .value_or(65536);
+  const long long shards = flag_int(args, "shards").value_or(16);
+  const long long threads = flag_int(args, "threads").value_or(0);
+  // Upper bounds keep absurd values from turning into an uncaught
+  // length_error (batch reserve) or a thread-spawn storm.
+  if (batch_size <= 0 || batch_size > 1'000'000 || cache_capacity < 0 ||
+      shards <= 0 || shards > 65'536 || threads < 0 || threads > 4'096) {
+    return usage();
+  }
+
+  std::ifstream file;
+  if (!input_path.empty()) {
+    file.open(input_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = input_path.empty() ? std::cin : file;
+
+  svc::VerdictCache cache(static_cast<std::size_t>(cache_capacity),
+                          static_cast<std::size_t>(shards));
+  svc::VerdictCache* cache_ptr = cache.enabled() ? &cache : nullptr;
+  ThreadPool pool(static_cast<unsigned>(threads));
+  svc::BatchOptions options;
+  options.for_fkf = has_flag(args, "fkf");
+
+  Stopwatch clock;
+  std::uint64_t served = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t accepted = 0;
+
+  std::vector<std::string> lines;
+  std::vector<PendingLine> wave;
+  lines.reserve(static_cast<std::size_t>(batch_size));
+  std::string line;
+  bool more = true;
+  while (more) {
+    lines.clear();
+    while (lines.size() < static_cast<std::size_t>(batch_size) &&
+           std::getline(in, line)) {
+      if (line.empty()) continue;
+      lines.push_back(line);
+    }
+    more = !in.eof() && in.good();
+    if (lines.empty()) break;
+
+    // Parsing is pure per line, so it fans out across the pool too — at
+    // high cache-hit rates the JSON decode, not the analysis, dominates.
+    wave.assign(lines.size(), PendingLine{});
+    pool.parallel_for(lines.size(),
+                      [&](std::size_t i) { wave[i] = ingest(lines[i]); });
+
+    // Only well-formed lines enter the pipeline; responses are emitted in
+    // input order regardless of completion order.
+    std::vector<svc::BatchRequest> requests;
+    for (PendingLine& p : wave) {
+      if (p.error.empty()) requests.push_back(std::move(p.request));
+    }
+    const auto verdicts =
+        svc::run_batch(requests, cache_ptr, pool, options);
+
+    // `requests`/`verdicts` hold the well-formed lines in wave order, so a
+    // single cursor maps them back.
+    std::size_t next_verdict = 0;
+    for (const PendingLine& p : wave) {
+      if (!p.error.empty()) {
+        std::cout << svc::format_error_line(p.id, p.error) << "\n";
+        ++errors;
+      } else {
+        const svc::BatchVerdict& v = verdicts[next_verdict];
+        std::cout << svc::format_verdict_line(
+                         v, &requests[next_verdict].taskset)
+                  << "\n";
+        ++next_verdict;
+        accepted += v.accepted ? 1 : 0;
+      }
+      ++served;
+    }
+    std::cout.flush();
+  }
+
+  if (has_flag(args, "stats")) {
+    const double secs = clock.seconds();
+    const auto cs = cache.stats();
+    std::fprintf(stderr,
+                 "served %llu requests (%llu schedulable, %llu errors) in "
+                 "%.3fs — %.0f req/s\n",
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(accepted),
+                 static_cast<unsigned long long>(errors), secs,
+                 secs > 0 ? static_cast<double>(served) / secs : 0.0);
+    std::fprintf(stderr,
+                 "cache: capacity=%zu shards=%zu size=%zu hits=%llu "
+                 "misses=%llu evictions=%llu hit_rate=%.1f%%\n",
+                 cache.capacity(), cache.shard_count(), cache.size(),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.evictions),
+                 100.0 * cs.hit_rate());
+  }
+  return 0;
+}
