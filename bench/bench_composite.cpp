@@ -1,16 +1,16 @@
 // Section 6 recommendation, quantified: "different schedulability bounds
 // should be applied together, i.e., determine that a taskset is
-// unschedulable only if all tests fail." Measures the composite (ANY)
-// acceptance against each individual test and counts tasksets accepted by
-// exactly one test — the incomparability the paper demonstrates with
-// Tables 1-3, at population scale.
+// unschedulable only if all tests fail." Runs the paper trio through one
+// shared AnalysisEngine (run-all, so every sub-verdict is observed),
+// measures the composite (ANY) acceptance against each individual test and
+// counts tasksets accepted by exactly one test — the incomparability the
+// paper demonstrates with Tables 1-3, at population scale. The engine's
+// cumulative per-analyzer stats close the report.
 
 #include <atomic>
 #include <cstdio>
 
-#include "analysis/dp.hpp"
-#include "analysis/gn1.hpp"
-#include "analysis/gn2.hpp"
+#include "analysis/engine.hpp"
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "gen/rng.hpp"
@@ -33,6 +33,11 @@ int main() {
       {"10 temporally-heavy", gen::GenProfile::spatially_light_time_heavy(10),
        70.0},
   };
+
+  // One engine for the whole bench: run-all (no early exit) because the
+  // unique-win accounting needs every sub-verdict, not just the first
+  // acceptance.
+  const analysis::AnalysisEngine engine{analysis::AnalysisRequest{}};
 
   std::printf("=== composite test: union coverage and unique wins ===\n\n");
   std::printf("%-24s %8s %8s %8s %8s | %8s %8s %8s | %s\n", "workload", "DP",
@@ -66,13 +71,20 @@ int main() {
           if (!ts) return;
           samples.fetch_add(1, std::memory_order_relaxed);
 
-          const bool dp = analysis::dp_test(*ts, dev).accepted();
-          const bool gn1 = analysis::gn1_test(*ts, dev).accepted();
-          const bool gn2 = analysis::gn2_test(*ts, dev).accepted();
+          const auto report = engine.run(*ts, dev);
+          const auto ok = [&report](const char* id) {
+            const auto* r = report.report_for(id);
+            return r != nullptr && r->accepted();
+          };
+          const bool dp = ok("dp");
+          const bool gn1 = ok("gn1");
+          const bool gn2 = ok("gn2");
           if (dp) dp_n.fetch_add(1, std::memory_order_relaxed);
           if (gn1) gn1_n.fetch_add(1, std::memory_order_relaxed);
           if (gn2) gn2_n.fetch_add(1, std::memory_order_relaxed);
-          if (dp || gn1 || gn2) any_n.fetch_add(1, std::memory_order_relaxed);
+          if (report.accepted()) {
+            any_n.fetch_add(1, std::memory_order_relaxed);
+          }
           if (dp && !gn1 && !gn2)
             only_dp.fetch_add(1, std::memory_order_relaxed);
           if (gn1 && !dp && !gn2)
@@ -91,6 +103,20 @@ int main() {
                 w.name, pct(dp_n), pct(gn1_n), pct(gn2_n), pct(any_n),
                 pct(only_dp), pct(only_gn1), pct(only_gn2),
                 static_cast<unsigned long long>(samples.load()));
+  }
+
+  std::printf("\nper-analyzer engine stats (all workloads):\n");
+  for (const auto& [id, s] : engine.stats()) {
+    std::printf("  %-4s: %10llu runs, %9llu accepts (%5.2f%%), %8.1f ms "
+                "total (%.2f us/run)\n",
+                id.c_str(), static_cast<unsigned long long>(s.runs),
+                static_cast<unsigned long long>(s.accepts),
+                s.runs == 0 ? 0.0
+                            : 100.0 * static_cast<double>(s.accepts) /
+                                  static_cast<double>(s.runs),
+                s.seconds * 1e3,
+                s.runs == 0 ? 0.0 : s.seconds * 1e6 /
+                                        static_cast<double>(s.runs));
   }
 
   std::printf("\nreading: ANY dominates every individual column (it is their "

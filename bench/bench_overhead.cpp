@@ -10,7 +10,7 @@
 #include <atomic>
 #include <cstdio>
 
-#include "analysis/composite.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/overhead.hpp"
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
@@ -22,6 +22,11 @@ int main() {
 
   const Device dev{100};
   const int samples = benchx::samples_per_bin();
+  // EDF-FkF capability filter: the engine keeps only the FkF-sound subset
+  // (DP, GN2) of the default lineup — the simulated scheduler below blocks.
+  analysis::AnalysisRequest fkf_request = analysis::fast_any_request();
+  fkf_request.scheduler = analysis::Scheduler::kEdfFkF;
+  const analysis::AnalysisEngine fkf_engine{std::move(fkf_request)};
 
   std::printf("=== reconfiguration overhead: inflated analysis vs simulated "
               "charges ===\n");
@@ -52,9 +57,7 @@ int main() {
           analysis::OverheadModel model;
           model.cost_per_column = rho;
           const TaskSet inflated = analysis::inflate_for_overhead(*ts, model);
-          const bool accepted =
-              analysis::composite_test(inflated, dev, {}, /*for_fkf=*/true)
-                  .accepted();
+          const bool accepted = fkf_engine.run(inflated, dev).accepted();
           if (accepted) analysis_acc.fetch_add(1, std::memory_order_relaxed);
 
           sim::SimConfig cfg = benchx::figure_sim_config();

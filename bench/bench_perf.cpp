@@ -7,6 +7,7 @@
 
 #include "analysis/composite.hpp"
 #include "analysis/dp.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
 #include "gen/generator.hpp"
@@ -73,6 +74,31 @@ void BM_CompositeTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompositeTest)->Arg(4)->Arg(10)->Arg(32);
+
+// Same trio through a prebuilt AnalysisEngine with cheapest-first early
+// exit — the serving configuration. The gap to BM_CompositeTest is the
+// run-all + per-call engine construction overhead the shim pays.
+void BM_EngineTrioEarlyExit(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
+  const Device dev{100};
+  const analysis::AnalysisEngine engine{analysis::fast_any_request()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_EngineTrioEarlyExit)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_EngineTrioRunAll(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
+  const Device dev{100};
+  analysis::AnalysisRequest request;
+  request.measure = false;
+  const analysis::AnalysisEngine engine{std::move(request)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_EngineTrioRunAll)->Arg(4)->Arg(10)->Arg(32);
 
 void BM_SimulateNf(benchmark::State& state) {
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 66, 0.5);

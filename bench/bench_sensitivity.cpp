@@ -8,10 +8,11 @@
 #include <atomic>
 #include <cstdio>
 #include <iterator>
+#include <memory>
 #include <string>
 
-#include "analysis/composite.hpp"
 #include "analysis/dp.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
 #include "analysis/sensitivity.hpp"
@@ -42,8 +43,9 @@ int main() {
          return analysis::gn2_test(t, d).accepted();
        }},
       {"ANY",
-       [](const TaskSet& t, Device d) {
-         return analysis::composite_test(t, d).accepted();
+       [engine = std::make_shared<analysis::AnalysisEngine>(
+            analysis::fast_any_request())](const TaskSet& t, Device d) {
+         return engine->run(t, d).accepted();
        }},
       {"SIM-NF",
        [](const TaskSet& t, Device d) {

@@ -5,9 +5,11 @@
 //
 // This example drives the real serving subsystem (src/svc/): an
 // svc::AdmissionSession holding the admitted set, backed by a shared
-// svc::VerdictCache keyed by the canonical taskset hash. The admission
-// criterion is the paper's Section 6 recommendation encoded in
-// composite_test: admit if ANY of DP / GN1 / GN2 accepts the extended set.
+// svc::VerdictCache keyed by the canonical taskset hash mixed with the
+// session engine's fingerprint. The admission criterion is the paper's
+// Section 6 recommendation — the default AnalysisRequest resolves the
+// dp/gn1/gn2 analyzers from the registry and admits if ANY accepts the
+// extended set.
 // Every admitted configuration is validated by simulation, and a second
 // pass replays the identical stream to show the cache serving it for free.
 //
@@ -69,13 +71,17 @@ int main(int argc, char** argv) {
 
     if (decision.admitted) {
       std::printf("ADMIT via %s\n", decision.accepted_by.c_str());
-      // Track which tests are pulling their weight (the full composite
-      // report is available because this verdict was freshly analyzed).
+      // Track which tests are pulling their weight (the full per-analyzer
+      // report is available because this verdict was freshly analyzed and
+      // the session's default request runs without early exit).
       if (decision.report) {
-        const auto& sub = decision.report->sub_reports;
-        const bool dp = sub[0].accepted();
-        const bool gn1 = sub[1].accepted();
-        const bool gn2 = sub[2].accepted();
+        const auto accepted_by_id = [&](const char* id) {
+          const auto* r = decision.report->report_for(id);
+          return r != nullptr && r->accepted();
+        };
+        const bool dp = accepted_by_id("dp");
+        const bool gn1 = accepted_by_id("gn1");
+        const bool gn2 = accepted_by_id("gn2");
         dp_only += dp && !gn1 && !gn2;
         gn1_only += gn1 && !dp && !gn2;
         gn2_only += gn2 && !dp && !gn1;

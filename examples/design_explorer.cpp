@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,8 +74,9 @@ int main(int argc, char** argv) {
          return analysis::gn2_test(t, d).accepted();
        }},
       {"ANY",
-       [](const TaskSet& t, Device d) {
-         return analysis::composite_test(t, d).accepted();
+       [engine = std::make_shared<analysis::AnalysisEngine>(
+            analysis::fast_any_request())](const TaskSet& t, Device d) {
+         return engine->run(t, d).accepted();
        }},
       {"PART",
        [](const TaskSet& t, Device d) {

@@ -74,7 +74,8 @@ int main() {
   // upper-bounds every 2D strategy above.
   const TaskSet flat = ts.to_1d_relaxation();
   const Device flat_dev = to_1d_relaxation(fabric);
-  const auto any = analysis::composite_test(flat, flat_dev);
+  const analysis::AnalysisEngine engine{analysis::AnalysisRequest{}};
+  const auto any = engine.run(flat, flat_dev);
   const auto flat_sim = sim::simulate(flat, flat_dev);
   std::printf("\n1D relaxation (area = w*h, A(H) = %d): bounds say %s; "
               "simulation %s\n",

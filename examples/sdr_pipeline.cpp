@@ -86,13 +86,13 @@ int main() {
   std::printf("reconfiguration overhead sweep (rho = cost per column):\n");
   std::printf("  %-12s %-14s %-14s\n", "rho (ms/col)",
               "analysis (ANY)", "simulation NF");
+  const analysis::AnalysisEngine any_engine{analysis::fast_any_request()};
   for (const double rho_ms : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
     const Ticks rho = ticks_from_units(rho_ms);
     analysis::OverheadModel model;
     model.cost_per_column = rho;
     const TaskSet inflated = analysis::inflate_for_overhead(ts, model);
-    const bool analysis_ok =
-        analysis::composite_test(inflated, fpga).accepted();
+    const bool analysis_ok = any_engine.run(inflated, fpga).accepted();
 
     sim::SimConfig ocfg;
     ocfg.reconfig_cost_per_column = rho;

@@ -1,8 +1,6 @@
 #include "analysis/composite.hpp"
 
-#include "analysis/dp.hpp"
-#include "analysis/gn1.hpp"
-#include "analysis/gn2.hpp"
+#include <utility>
 
 namespace reconf::analysis {
 
@@ -13,23 +11,32 @@ std::string CompositeReport::accepted_by() const {
   return {};
 }
 
+AnalysisRequest request_from_composite(const CompositeOptions& options,
+                                       bool for_fkf) {
+  AnalysisRequest request;
+  request.tests.clear();
+  if (options.use_dp) request.tests.emplace_back("dp");
+  if (options.use_gn1) request.tests.emplace_back("gn1");
+  if (options.use_gn2) request.tests.emplace_back("gn2");
+  if (for_fkf) request.scheduler = Scheduler::kEdfFkF;
+  request.config.dp = options.dp;
+  request.config.gn1 = options.gn1;
+  request.config.gn2 = options.gn2;
+  request.early_exit = false;  // legacy behaviour: every enabled test runs
+  request.measure = false;
+  return request;
+}
+
 CompositeReport composite_test(const TaskSet& ts, Device device,
                                const CompositeOptions& options, bool for_fkf) {
+  const AnalysisEngine engine(request_from_composite(options, for_fkf));
+  AnalysisReport report = engine.run(ts, device);
+
   CompositeReport out;
-  if (options.use_dp) {
-    out.sub_reports.push_back(dp_test(ts, device, options.dp));
-  }
-  if (options.use_gn1 && !for_fkf) {
-    out.sub_reports.push_back(gn1_test(ts, device, options.gn1));
-  }
-  if (options.use_gn2) {
-    out.sub_reports.push_back(gn2_test(ts, device, options.gn2));
-  }
-  for (const TestReport& r : out.sub_reports) {
-    if (r.accepted()) {
-      out.verdict = Verdict::kSchedulable;
-      break;
-    }
+  out.verdict = report.verdict;
+  out.sub_reports.reserve(report.outcomes.size());
+  for (AnalyzerOutcome& outcome : report.outcomes) {
+    if (outcome.ran) out.sub_reports.push_back(std::move(outcome.report));
   }
   return out;
 }

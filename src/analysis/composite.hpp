@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "analysis/options.hpp"
 #include "analysis/report.hpp"
 #include "common/types.hpp"
@@ -23,12 +24,22 @@ struct CompositeReport {
   [[nodiscard]] std::string accepted_by() const;
 };
 
+/// The AnalysisRequest equivalent of the legacy (CompositeOptions, for_fkf)
+/// configuration: DP/GN1/GN2 selected by the use_* flags, `for_fkf` spelled
+/// as the EDF-FkF capability filter (which drops GN1 — exactly the old
+/// hard-wired subset), no early exit. Bridge for callers migrating to the
+/// engine; new code should build an AnalysisRequest directly.
+[[nodiscard]] AnalysisRequest request_from_composite(
+    const CompositeOptions& options, bool for_fkf);
+
 /// Runs DP, GN1 and GN2 (as enabled) and accepts if any accepts.
 ///
-/// Scheduler caveat encoded here: GN1 is only sound for EDF-NF; DP and GN2
-/// are sound for EDF-FkF and, by Danne's dominance result, for EDF-NF.
-/// Composite with all three is therefore an EDF-NF test; pass
-/// `for_fkf = true` to restrict to the EDF-FkF-sound subset (DP, GN2).
+/// Compatibility shim over AnalysisEngine (the paper-trio request above);
+/// verdicts are bit-identical to the pre-engine implementation — the parity
+/// suite in tests/engine_test.cpp enforces this. Scheduler caveat encoded
+/// in the analyzers' capability metadata: GN1 is only sound for EDF-NF; DP
+/// and GN2 are sound for EDF-FkF and, by Danne's dominance result, for
+/// EDF-NF. Pass `for_fkf = true` to restrict to the EDF-FkF-sound subset.
 [[nodiscard]] CompositeReport composite_test(const TaskSet& ts, Device device,
                                              const CompositeOptions& options = {},
                                              bool for_fkf = false);

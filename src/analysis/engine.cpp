@@ -1,0 +1,445 @@
+#include "analysis/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/dp.hpp"
+#include "analysis/gn1.hpp"
+#include "analysis/gn2.hpp"
+#include "analysis/hash.hpp"
+#include "analysis/registry.hpp"
+#include "common/stopwatch.hpp"
+#include "mp/mp_tests.hpp"
+
+namespace reconf::analysis {
+
+namespace {
+
+/// FNV-1a over the id string — stable across platforms, unlike
+/// std::hash<std::string>.
+std::uint64_t id_hash(std::string_view id) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ----------------------------------------------------- paper analyzers ----
+
+class DpAnalyzer final : public Analyzer {
+ public:
+  std::string_view id() const noexcept override { return "dp"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 1 utilization bound (Danne & Platzner + integer-area "
+           "correction)";
+  }
+  Capabilities capabilities() const noexcept override {
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = true,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kImplicit,
+            .cost = CostClass::kLinear};
+  }
+  TestReport run(const TaskSet& ts, Device device,
+                 const AnalyzerConfig& config) const override {
+    return dp_test(ts, device, config.dp);
+  }
+  std::uint64_t options_fingerprint(
+      const AnalyzerConfig& config) const noexcept override {
+    std::uint64_t h = mix64(id_hash(id()));
+    h = mix64(h ^ static_cast<std::uint64_t>(config.dp.alpha));
+    h = mix64(h ^ (config.dp.require_implicit_deadlines ? 1u : 0u));
+    return h;
+  }
+};
+
+class Gn1Analyzer final : public Analyzer {
+ public:
+  std::string_view id() const noexcept override { return "gn1"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 2 interference bound for EDF-NF (from BCL)";
+  }
+  Capabilities capabilities() const noexcept override {
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = false,  // not interval-α-work-conserving
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kConstrained,
+            .cost = CostClass::kQuadratic};
+  }
+  TestReport run(const TaskSet& ts, Device device,
+                 const AnalyzerConfig& config) const override {
+    return gn1_test(ts, device, config.gn1);
+  }
+  std::uint64_t options_fingerprint(
+      const AnalyzerConfig& config) const noexcept override {
+    std::uint64_t h = mix64(id_hash(id()));
+    h = mix64(h ^ static_cast<std::uint64_t>(config.gn1.normalization));
+    h = mix64(h ^ static_cast<std::uint64_t>(config.gn1.rhs));
+    return h;
+  }
+};
+
+class Gn2Analyzer final : public Analyzer {
+ public:
+  std::string_view id() const noexcept override { return "gn2"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 3 lambda-parameterized bound for EDF-FkF (from BAK2)";
+  }
+  Capabilities capabilities() const noexcept override {
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = true,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kArbitrary,
+            .cost = CostClass::kCubic};
+  }
+  TestReport run(const TaskSet& ts, Device device,
+                 const AnalyzerConfig& config) const override {
+    return gn2_test(ts, device, config.gn2);
+  }
+  std::uint64_t options_fingerprint(
+      const AnalyzerConfig& config) const noexcept override {
+    std::uint64_t h = mix64(id_hash(id()));
+    h = mix64(h ^ (config.gn2.non_strict_condition2 ? 1u : 0u));
+    h = mix64(h ^ (config.gn2.bak2_middle_branch ? 1u : 0u));
+    return h;
+  }
+};
+
+// ------------------------------------------------ mp cross-check tests ----
+
+/// The mp:: tests are the multiprocessor special case (every area = 1,
+/// A(H) = m processors). As analyzers over general tasksets they guard that
+/// precondition: a non-unit-area taskset yields kInconclusive with a note,
+/// never an unsound acceptance.
+class MpAnalyzer : public Analyzer {
+ public:
+  using MpTest = TestReport (*)(const TaskSet&, mp::MpPlatform);
+
+  MpAnalyzer(MpTest test, const char* test_name) noexcept
+      : test_(test), test_name_(test_name) {}
+
+  TestReport run(const TaskSet& ts, Device device,
+                 const AnalyzerConfig&) const override {
+    for (const Task& t : ts) {
+      if (t.area != 1) {
+        TestReport refused;
+        refused.test_name = test_name_;
+        refused.note =
+            "requires unit-area tasks (multiprocessor cross-check; use "
+            "mp::as_unit_area to coerce)";
+        return refused;
+      }
+    }
+    return test_(ts, mp::MpPlatform{device.width});
+  }
+
+ private:
+  MpTest test_;
+  const char* test_name_;
+};
+
+class GfbAnalyzer final : public MpAnalyzer {
+ public:
+  GfbAnalyzer() : MpAnalyzer(&mp::gfb_test, "GFB") {}
+  std::string_view id() const noexcept override { return "mp-gfb"; }
+  std::string_view description() const noexcept override {
+    return "GFB multiprocessor utilization bound (unit-area tasks only)";
+  }
+  Capabilities capabilities() const noexcept override {
+    // Specialization of DP: sound wherever DP is.
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = true,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kImplicit,
+            .cost = CostClass::kLinear};
+  }
+};
+
+class BclAnalyzer final : public MpAnalyzer {
+ public:
+  BclAnalyzer() : MpAnalyzer(&mp::bcl_test, "BCL") {}
+  std::string_view id() const noexcept override { return "mp-bcl"; }
+  std::string_view description() const noexcept override {
+    return "BCL multiprocessor interference bound (unit-area tasks only)";
+  }
+  Capabilities capabilities() const noexcept override {
+    // Specialization of GN1: EDF-NF only.
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = false,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kConstrained,
+            .cost = CostClass::kQuadratic};
+  }
+};
+
+class Bak1Analyzer final : public MpAnalyzer {
+ public:
+  Bak1Analyzer() : MpAnalyzer(&mp::bak1_test, "BAK1") {}
+  std::string_view id() const noexcept override { return "mp-bak1"; }
+  std::string_view description() const noexcept override {
+    return "BAK1 multiprocessor density bound (unit-area tasks only)";
+  }
+  Capabilities capabilities() const noexcept override {
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = false,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kConstrained,
+            .cost = CostClass::kQuadratic};
+  }
+};
+
+class Bak2Analyzer final : public MpAnalyzer {
+ public:
+  Bak2Analyzer() : MpAnalyzer(&mp::bak2_test, "BAK2") {}
+  std::string_view id() const noexcept override { return "mp-bak2"; }
+  std::string_view description() const noexcept override {
+    return "BAK2 lambda-parameterized multiprocessor bound (unit-area tasks "
+           "only)";
+  }
+  Capabilities capabilities() const noexcept override {
+    // Specialization of GN2: sound wherever GN2 is.
+    return {.sound_edf_nf = true,
+            .sound_edf_fkf = true,
+            .sound_partitioned = false,
+            .deadlines = DeadlineModel::kArbitrary,
+            .cost = CostClass::kCubic};
+  }
+};
+
+// ------------------------------------------------------ partitioned EDF ----
+
+class PartitionAnalyzer final : public Analyzer {
+ public:
+  std::string_view id() const noexcept override { return "partition"; }
+  std::string_view description() const noexcept override {
+    return "partitioned EDF baseline (Danne & Platzner RAW'06 contrast)";
+  }
+  Capabilities capabilities() const noexcept override {
+    // A feasible allocation proves schedulability for the partitioned
+    // scheduler it constructs — not for either global EDF variant.
+    return {.sound_edf_nf = false,
+            .sound_edf_fkf = false,
+            .sound_partitioned = true,
+            .deadlines = DeadlineModel::kArbitrary,
+            .cost = CostClass::kQuadratic};
+  }
+  TestReport run(const TaskSet& ts, Device device,
+                 const AnalyzerConfig& config) const override {
+    const auto result =
+        partition::partition_tasks(ts, device, config.partition);
+    TestReport report;
+    report.test_name = "PART";
+    report.verdict =
+        result.feasible ? Verdict::kSchedulable : Verdict::kInconclusive;
+    report.note = result.feasible
+                      ? std::to_string(result.partitions.size()) +
+                            " partitions, " +
+                            std::to_string(result.total_width) + " columns"
+                      : result.note;
+    return report;
+  }
+  std::uint64_t options_fingerprint(
+      const AnalyzerConfig& config) const noexcept override {
+    std::uint64_t h = mix64(id_hash(id()));
+    h = mix64(h ^ static_cast<std::uint64_t>(config.partition.heuristic));
+    h = mix64(h ^ static_cast<std::uint64_t>(config.partition.order));
+    return h;
+  }
+};
+
+constexpr std::uint64_t kEngineSalt = 0x656E67696E652D31ull;  // "engine-1"
+
+}  // namespace
+
+const char* to_string(Scheduler scheduler) noexcept {
+  switch (scheduler) {
+    case Scheduler::kEdfNf: return "EDF-NF";
+    case Scheduler::kEdfFkF: return "EDF-FkF";
+    case Scheduler::kPartitionedEdf: return "partitioned-EDF";
+  }
+  return "?";
+}
+
+const char* to_string(DeadlineModel model) noexcept {
+  switch (model) {
+    case DeadlineModel::kImplicit: return "implicit";
+    case DeadlineModel::kConstrained: return "constrained";
+    case DeadlineModel::kArbitrary: return "arbitrary";
+  }
+  return "?";
+}
+
+const char* to_string(CostClass cost) noexcept {
+  switch (cost) {
+    case CostClass::kLinear: return "O(N)";
+    case CostClass::kQuadratic: return "O(N^2)";
+    case CostClass::kCubic: return "O(N^3)";
+  }
+  return "?";
+}
+
+std::uint64_t Analyzer::options_fingerprint(
+    const AnalyzerConfig&) const noexcept {
+  return 0;
+}
+
+AnalysisRequest fast_any_request() {
+  AnalysisRequest request;
+  request.early_exit = true;
+  request.measure = false;
+  return request;
+}
+
+UnknownAnalyzerError::UnknownAnalyzerError(const std::string& id,
+                                           const std::string& registered)
+    : std::invalid_argument("unknown analyzer '" + id +
+                            "'; registered analyzers: " + registered),
+      id_(id) {}
+
+void register_builtin_analyzers(AnalyzerRegistry& registry) {
+  registry.add(std::make_unique<DpAnalyzer>());
+  registry.add(std::make_unique<Gn1Analyzer>());
+  registry.add(std::make_unique<Gn2Analyzer>());
+  registry.add(std::make_unique<GfbAnalyzer>());
+  registry.add(std::make_unique<BclAnalyzer>());
+  registry.add(std::make_unique<Bak1Analyzer>());
+  registry.add(std::make_unique<Bak2Analyzer>());
+  registry.add(std::make_unique<PartitionAnalyzer>());
+}
+
+// ----------------------------------------------------- AnalysisReport ----
+
+std::string AnalysisReport::accepted_by() const {
+  for (const AnalyzerOutcome& o : outcomes) {
+    if (o.ran && o.report.accepted()) return o.id;
+  }
+  return {};
+}
+
+const AnalyzerOutcome* AnalysisReport::outcome(std::string_view id) const {
+  for (const AnalyzerOutcome& o : outcomes) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+const TestReport* AnalysisReport::report_for(std::string_view id) const {
+  const AnalyzerOutcome* o = outcome(id);
+  return o != nullptr && o->ran ? &o->report : nullptr;
+}
+
+// ----------------------------------------------------- AnalysisEngine ----
+
+const AnalyzerRegistry& AnalysisEngine::default_registry() {
+  return AnalyzerRegistry::instance();
+}
+
+AnalysisEngine::AnalysisEngine(AnalysisRequest request,
+                               const AnalyzerRegistry& registry)
+    : request_(std::move(request)) {
+  analyzers_.reserve(request_.tests.size());
+  for (const std::string& test : request_.tests) {
+    const Analyzer* analyzer = registry.find(test);
+    if (analyzer == nullptr) {
+      throw UnknownAnalyzerError(test, registry.id_list());
+    }
+    if (std::find(analyzers_.begin(), analyzers_.end(), analyzer) !=
+        analyzers_.end()) {
+      continue;  // duplicate id: run once
+    }
+    if (request_.scheduler.has_value() &&
+        !sound_for(analyzer->capabilities(), *request_.scheduler)) {
+      continue;  // not sound for the target scheduler
+    }
+    analyzers_.push_back(analyzer);
+  }
+
+  // Cheapest-first, id as tie-break: deterministic regardless of the order
+  // ids were listed in, so the same selection always produces the same
+  // execution order, accepted_by, and fingerprint.
+  std::stable_sort(analyzers_.begin(), analyzers_.end(),
+                   [](const Analyzer* a, const Analyzer* b) {
+                     const auto ca = a->capabilities().cost;
+                     const auto cb = b->capabilities().cost;
+                     if (ca != cb) return ca < cb;
+                     return a->id() < b->id();
+                   });
+
+  std::uint64_t h = mix64(kEngineSalt);
+  for (const Analyzer* analyzer : analyzers_) {
+    h = mix64(h ^ id_hash(analyzer->id()));
+    h = mix64(h ^ analyzer->options_fingerprint(request_.config));
+  }
+  fingerprint_ = h;
+
+  stats_ = std::make_unique<StatsCell[]>(analyzers_.size());
+}
+
+AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
+  AnalysisReport out;
+  out.outcomes.reserve(analyzers_.size());
+  bool decided = false;
+  for (std::size_t i = 0; i < analyzers_.size(); ++i) {
+    const Analyzer& analyzer = *analyzers_[i];
+    AnalyzerOutcome outcome;
+    outcome.id = std::string(analyzer.id());
+    if (decided) {
+      out.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+
+    if (request_.measure) {
+      Stopwatch watch;
+      outcome.report = analyzer.run(ts, device, request_.config);
+      outcome.seconds = watch.seconds();
+    } else {
+      outcome.report = analyzer.run(ts, device, request_.config);
+    }
+    outcome.ran = true;
+
+    StatsCell& cell = stats_[i];
+    cell.runs.fetch_add(1, std::memory_order_relaxed);
+    if (outcome.report.accepted()) {
+      cell.accepts.fetch_add(1, std::memory_order_relaxed);
+    }
+    cell.nanos.fetch_add(
+        static_cast<std::uint64_t>(std::llround(outcome.seconds * 1e9)),
+        std::memory_order_relaxed);
+
+    if (outcome.report.accepted()) {
+      out.verdict = Verdict::kSchedulable;
+      decided = request_.early_exit;
+    }
+    out.outcomes.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+std::vector<std::string> AnalysisEngine::execution_order() const {
+  std::vector<std::string> out;
+  out.reserve(analyzers_.size());
+  for (const Analyzer* analyzer : analyzers_) {
+    out.emplace_back(analyzer->id());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, AnalyzerStats>> AnalysisEngine::stats()
+    const {
+  std::vector<std::pair<std::string, AnalyzerStats>> out;
+  out.reserve(analyzers_.size());
+  for (std::size_t i = 0; i < analyzers_.size(); ++i) {
+    AnalyzerStats s;
+    s.runs = stats_[i].runs.load(std::memory_order_relaxed);
+    s.accepts = stats_[i].accepts.load(std::memory_order_relaxed);
+    s.seconds =
+        static_cast<double>(stats_[i].nanos.load(std::memory_order_relaxed)) /
+        1e9;
+    out.emplace_back(std::string(analyzers_[i]->id()), s);
+  }
+  return out;
+}
+
+}  // namespace reconf::analysis

@@ -1,0 +1,259 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/options.hpp"
+#include "analysis/report.hpp"
+#include "common/types.hpp"
+#include "partition/partitioned.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::analysis {
+
+class AnalyzerRegistry;
+
+/// Schedulers a verdict can be claimed for. Soundness is per scheduler: a
+/// sufficient test proves schedulability only under schedulers it is sound
+/// for (the paper's caveat: GN1 holds for EDF-NF but not EDF-FkF).
+enum class Scheduler {
+  kEdfNf,           ///< global EDF, next-fit skipping (work-conserving)
+  kEdfFkF,          ///< global EDF, first-k-first (blocking)
+  kPartitionedEdf,  ///< fixed column partitions, uniprocessor EDF inside
+};
+
+[[nodiscard]] const char* to_string(Scheduler scheduler) noexcept;
+
+/// The most general deadline model a test handles without refusing.
+enum class DeadlineModel {
+  kImplicit,     ///< requires D = T (e.g. DP, which descends from GFB)
+  kConstrained,  ///< requires D ≤ T
+  kArbitrary,    ///< handles any D, including post-period deadlines
+};
+
+[[nodiscard]] const char* to_string(DeadlineModel model) noexcept;
+
+/// Asymptotic cost over the task count N — the engine's cheapest-first
+/// execution order sorts by this, so a linear test gets the chance to
+/// accept (and early-exit) before an O(N³) one ever runs.
+enum class CostClass {
+  kLinear,     ///< O(N)  — one pass (DP, GFB)
+  kQuadratic,  ///< O(N²) — per-task interference sums (GN1, BCL, partition)
+  kCubic,      ///< O(N³) — λ-candidate scans (GN2, BAK2)
+};
+
+[[nodiscard]] const char* to_string(CostClass cost) noexcept;
+
+/// Capability metadata every Analyzer declares: which schedulers its
+/// acceptance is sound for, the deadline model it supports, and its cost
+/// class. The engine derives scheduler restrictions from this metadata
+/// (an EDF-FkF request simply filters out analyzers not FkF-sound) instead
+/// of hard-wiring per-test bool flags at every call site.
+struct Capabilities {
+  bool sound_edf_nf = false;
+  bool sound_edf_fkf = false;
+  bool sound_partitioned = false;
+  DeadlineModel deadlines = DeadlineModel::kArbitrary;
+  CostClass cost = CostClass::kLinear;
+};
+
+/// Whether an acceptance from a test with these capabilities proves
+/// schedulability under `scheduler`.
+[[nodiscard]] constexpr bool sound_for(const Capabilities& caps,
+                                       Scheduler scheduler) noexcept {
+  switch (scheduler) {
+    case Scheduler::kEdfNf: return caps.sound_edf_nf;
+    case Scheduler::kEdfFkF: return caps.sound_edf_fkf;
+    case Scheduler::kPartitionedEdf: return caps.sound_partitioned;
+  }
+  return false;
+}
+
+/// Union of every per-test option struct; each analyzer reads only its own
+/// slice (and fingerprints only that slice, so cache keys do not churn when
+/// an unrelated test's knob moves).
+struct AnalyzerConfig {
+  DpOptions dp;
+  Gn1Options gn1;
+  Gn2Options gn2;
+  partition::PartitionConfig partition;
+};
+
+/// One pluggable schedulability test. Implementations must be stateless and
+/// thread-safe: `run` is called concurrently on distinct tasksets by the
+/// batch pipeline and the sweep harness.
+///
+/// See README.md ("Writing a new Analyzer") for a worked example.
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+
+  /// Registry key, lowercase kebab-case (e.g. "dp", "mp-bak2"). Stable —
+  /// it appears in NDJSON requests, CLI flags and cache fingerprints.
+  [[nodiscard]] virtual std::string_view id() const noexcept = 0;
+
+  /// One-line human description for listings and error messages.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  [[nodiscard]] virtual Capabilities capabilities() const noexcept = 0;
+
+  /// Evaluates the test. Must be pure: the report depends only on the
+  /// arguments. Inapplicable inputs (wrong deadline model, non-unit areas
+  /// for the mp cross-checks) yield kInconclusive with an explanatory note,
+  /// never an unsound acceptance.
+  [[nodiscard]] virtual TestReport run(const TaskSet& ts, Device device,
+                                       const AnalyzerConfig& config) const = 0;
+
+  /// Fingerprint of the slice of `config` this analyzer reads — every knob
+  /// that can change its verdict. Folded into cache keys: two configs with
+  /// equal fingerprints for every selected analyzer must produce identical
+  /// verdicts. Default: 0 (no options).
+  [[nodiscard]] virtual std::uint64_t options_fingerprint(
+      const AnalyzerConfig& config) const noexcept;
+};
+
+/// Thrown when a requested analyzer id is not registered. The message lists
+/// every registered id so callers (CLI, codec) can relay an actionable
+/// error.
+class UnknownAnalyzerError : public std::invalid_argument {
+ public:
+  UnknownAnalyzerError(const std::string& id, const std::string& registered);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+ private:
+  std::string id_;
+};
+
+/// Everything that parameterizes one analysis run: which tests, under which
+/// scheduler restriction, with which options, and how eagerly to stop.
+struct AnalysisRequest {
+  /// Registry ids to run. Defaults to the paper's Section 6 lineup.
+  /// Duplicates are ignored; an empty list builds an engine that runs
+  /// nothing and answers kInconclusive.
+  std::vector<std::string> tests{"dp", "gn1", "gn2"};
+
+  /// When set, only analyzers whose capabilities are sound for this
+  /// scheduler are kept (the registry-era spelling of the old
+  /// `for_fkf` bool: kEdfFkF drops GN1/BCL/BAK1). Unset = no restriction.
+  std::optional<Scheduler> scheduler;
+
+  AnalyzerConfig config;
+
+  /// Stop after the first acceptance (sufficient tests are a union — one
+  /// accept decides). Skipped analyzers still appear in the report with
+  /// ran == false. The verdict and accepted_by are unaffected because
+  /// execution order is deterministic, so early exit is safe to flip for
+  /// throughput without invalidating cached verdicts.
+  bool early_exit = false;
+
+  /// Record per-analyzer wall time. Off for tight sweep loops where two
+  /// clock reads per linear-time test would show up in the profile.
+  bool measure = true;
+};
+
+/// The serving configuration: paper trio, cheapest-first early exit, no
+/// timing. What every accepted()-only hot path (sweeps, width scans, the
+/// batch default) wants.
+[[nodiscard]] AnalysisRequest fast_any_request();
+
+/// Per-analyzer slice of one engine run, in execution order.
+struct AnalyzerOutcome {
+  std::string id;
+  bool ran = false;       ///< false when early-exit skipped this analyzer
+  TestReport report;      ///< meaningful only when ran
+  double seconds = 0.0;   ///< wall time of run(); 0 when !ran or !measure
+};
+
+/// Result of AnalysisEngine::run — the union verdict plus one outcome per
+/// selected analyzer.
+struct AnalysisReport {
+  Verdict verdict = Verdict::kInconclusive;
+  std::vector<AnalyzerOutcome> outcomes;
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return verdict == Verdict::kSchedulable;
+  }
+  /// Id of the first accepting analyzer in execution order, or empty.
+  [[nodiscard]] std::string accepted_by() const;
+  /// The outcome for `id`, or nullptr when not selected.
+  [[nodiscard]] const AnalyzerOutcome* outcome(std::string_view id) const;
+  /// The TestReport for `id`, or nullptr when not selected or not run.
+  [[nodiscard]] const TestReport* report_for(std::string_view id) const;
+};
+
+/// Cumulative per-analyzer counters over an engine's lifetime.
+struct AnalyzerStats {
+  std::uint64_t runs = 0;
+  std::uint64_t accepts = 0;
+  double seconds = 0.0;
+};
+
+/// A resolved, immutable analysis pipeline: ids are looked up in the
+/// registry once, the scheduler capability filter is applied once, and the
+/// execution order (cheapest cost class first, id as tie-break) plus the
+/// configuration fingerprint are fixed at construction. `run` is then pure
+/// and thread-safe — one engine serves every worker of the batch pipeline.
+class AnalysisEngine {
+ public:
+  /// Resolves `request` against `registry`. Throws UnknownAnalyzerError on
+  /// an unregistered id (message lists the registered ones).
+  explicit AnalysisEngine(
+      AnalysisRequest request,
+      const AnalyzerRegistry& registry = default_registry());
+
+  AnalysisEngine(AnalysisEngine&&) noexcept = default;
+  AnalysisEngine& operator=(AnalysisEngine&&) noexcept = default;
+
+  /// Runs the selected analyzers in execution order. Verdict and
+  /// accepted_by depend only on (taskset, device, fingerprint()) — never on
+  /// early_exit, measure, or thread interleaving.
+  [[nodiscard]] AnalysisReport run(const TaskSet& ts, Device device) const;
+
+  /// Fingerprint of the resolved configuration: the ordered analyzer ids
+  /// and each analyzer's options fingerprint. Two engines with equal
+  /// fingerprints produce identical verdicts for every input, so this (and
+  /// only this) is what verdict-cache keys mix in. Diagnostics knobs
+  /// (early_exit, measure) are deliberately excluded.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  /// Selected analyzer ids in execution order (post filter, post sort).
+  [[nodiscard]] std::vector<std::string> execution_order() const;
+
+  [[nodiscard]] const AnalysisRequest& request() const noexcept {
+    return request_;
+  }
+  [[nodiscard]] std::size_t analyzer_count() const noexcept {
+    return analyzers_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return analyzers_.empty(); }
+
+  /// Cumulative (runs, accepts, seconds) per analyzer id, execution order.
+  [[nodiscard]] std::vector<std::pair<std::string, AnalyzerStats>> stats()
+      const;
+
+ private:
+  struct StatsCell {
+    std::atomic<std::uint64_t> runs{0};
+    std::atomic<std::uint64_t> accepts{0};
+    std::atomic<std::uint64_t> nanos{0};
+  };
+
+  [[nodiscard]] static const AnalyzerRegistry& default_registry();
+
+  AnalysisRequest request_;
+  std::vector<const Analyzer*> analyzers_;  ///< execution order
+  std::uint64_t fingerprint_ = 0;
+  std::unique_ptr<StatsCell[]> stats_;  ///< one cell per analyzer
+};
+
+}  // namespace reconf::analysis

@@ -1,5 +1,7 @@
 #include "analysis/hash.hpp"
 
+#include "analysis/composite.hpp"
+#include "analysis/engine.hpp"
 #include "common/rng.hpp"
 
 namespace reconf::analysis {
@@ -27,20 +29,15 @@ std::uint64_t task_fingerprint(const Task& t) noexcept {
 }
 
 std::uint64_t options_fingerprint(const CompositeOptions& options,
-                                  bool for_fkf) noexcept {
-  std::uint64_t h = mix64(kHashSalt ^ 0x6F7074696F6E73ull);  // "options"
-  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
-  fold(options.use_dp ? 1 : 0);
-  fold(options.use_gn1 ? 1 : 0);
-  fold(options.use_gn2 ? 1 : 0);
-  fold(static_cast<std::uint64_t>(options.dp.alpha));
-  fold(options.dp.require_implicit_deadlines ? 1 : 0);
-  fold(static_cast<std::uint64_t>(options.gn1.normalization));
-  fold(static_cast<std::uint64_t>(options.gn1.rhs));
-  fold(options.gn2.non_strict_condition2 ? 1 : 0);
-  fold(options.gn2.bak2_middle_branch ? 1 : 0);
-  fold(for_fkf ? 1 : 0);
-  return h;
+                                  bool for_fkf) {
+  // Delegates to the engine so legacy (CompositeOptions, for_fkf) callers
+  // and engine-native callers with the same effective analyzer selection
+  // agree on cache keys. Note the deliberate asymmetry with the old field
+  // fold: configurations that resolve to the same post-filter lineup (e.g.
+  // use_gn1 on/off under for_fkf) now share a fingerprint — their verdicts
+  // are identical, so sharing is correct and improves hit rates.
+  const AnalysisEngine engine(request_from_composite(options, for_fkf));
+  return engine.fingerprint();
 }
 
 std::uint64_t canonical_hash(const TaskSet& ts, Device device) noexcept {

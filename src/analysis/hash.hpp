@@ -30,13 +30,17 @@ namespace reconf::analysis {
 [[nodiscard]] std::uint64_t canonical_hash(const TaskSet& ts,
                                            Device device) noexcept;
 
-/// Hash of an analysis *configuration*: every CompositeOptions knob plus the
-/// for_fkf restriction. A cached verdict is only valid for the exact test
-/// lineup that produced it — GN1 is unsound for EDF-FkF, so serving a cached
-/// EDF-NF acceptance to a for_fkf caller would be a deadline-safety bug, not
-/// a stale diagnostic. Cache keys must therefore combine this with
-/// `canonical_hash` (see svc::verdict_cache_key).
+/// Hash of a legacy composite *configuration*. A cached verdict is only
+/// valid for the exact analyzer lineup + per-test options that produced it —
+/// GN1 is unsound for EDF-FkF, so serving a cached EDF-NF acceptance to a
+/// for_fkf caller would be a deadline-safety bug, not a stale diagnostic.
+///
+/// Implemented as AnalysisEngine(request_from_composite(...)).fingerprint()
+/// — it resolves a throwaway engine, so it allocates and is not noexcept;
+/// a legacy caller and an engine caller with the equivalent selection share
+/// cache lines. Engine-native callers should use the engine's cached
+/// fingerprint() directly (see svc::verdict_cache_key).
 [[nodiscard]] std::uint64_t options_fingerprint(const CompositeOptions& options,
-                                                bool for_fkf) noexcept;
+                                                bool for_fkf);
 
 }  // namespace reconf::analysis

@@ -1,0 +1,89 @@
+#include "analysis/registry.hpp"
+
+#include <utility>
+
+namespace reconf::analysis {
+
+AnalyzerRegistry& AnalyzerRegistry::instance() {
+  static AnalyzerRegistry* registry = [] {
+    auto* r = new AnalyzerRegistry();  // never destroyed: engines built from
+                                       // it may outlive static teardown
+    register_builtin_analyzers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AnalyzerRegistry::add(std::unique_ptr<Analyzer> analyzer) {
+  if (analyzer == nullptr) {
+    throw std::invalid_argument("cannot register a null analyzer");
+  }
+  std::string id(analyzer->id());
+  if (id.empty()) {
+    throw std::invalid_argument("analyzer id must be non-empty");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      analyzers_.emplace(std::move(id), std::move(analyzer));
+  if (!inserted) {
+    throw std::invalid_argument("analyzer id '" + it->first +
+                                "' is already registered");
+  }
+}
+
+const Analyzer* AnalyzerRegistry::find(std::string_view id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = analyzers_.find(id);
+  return it == analyzers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Analyzer*> AnalyzerRegistry::all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Analyzer*> out;
+  out.reserve(analyzers_.size());
+  for (const auto& [id, analyzer] : analyzers_) {
+    out.push_back(analyzer.get());  // std::map iteration: sorted by id
+  }
+  return out;
+}
+
+std::vector<std::string> AnalyzerRegistry::ids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(analyzers_.size());
+  for (const auto& [id, analyzer] : analyzers_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::string AnalyzerRegistry::id_list() const {
+  std::string out;
+  for (const std::string& id : ids()) {
+    if (!out.empty()) out += ", ";
+    out += id;
+  }
+  return out;
+}
+
+std::size_t AnalyzerRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return analyzers_.size();
+}
+
+std::vector<std::string> split_id_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string id =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!id.empty()) out.push_back(id);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace reconf::analysis

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/engine.hpp"
+
+namespace reconf::analysis {
+
+/// Process-wide, string-keyed directory of schedulability Analyzers.
+///
+/// The default-constructed registry is empty — tests use it to exercise
+/// registration rules in isolation. `instance()` returns the process-wide
+/// registry, pre-populated with every built-in analyzer (DP/GN1/GN2, the
+/// mp:: cross-check tests, partitioned EDF); new backends register
+/// themselves there once at startup and every consumer (AnalysisEngine,
+/// reconf_cli/reconf_serve `--tests=`, the NDJSON codec) can resolve them
+/// by id from then on.
+///
+/// Ids are case-sensitive, non-empty, and unique: `add` throws
+/// std::invalid_argument on a duplicate so two backends can never shadow
+/// each other silently. Enumeration (`all`, `ids`) is deterministic —
+/// sorted by id — so listings, error messages and fingerprints never depend
+/// on registration order.
+///
+/// Thread-safe. Analyzer pointers returned by `find`/`all` stay valid for
+/// the registry's lifetime (for `instance()`: the process lifetime).
+class AnalyzerRegistry {
+ public:
+  AnalyzerRegistry() = default;
+
+  AnalyzerRegistry(const AnalyzerRegistry&) = delete;
+  AnalyzerRegistry& operator=(const AnalyzerRegistry&) = delete;
+
+  /// The process-wide registry with all built-in analyzers registered.
+  [[nodiscard]] static AnalyzerRegistry& instance();
+
+  /// Registers `analyzer` under its id(). Throws std::invalid_argument when
+  /// the id is empty or already taken.
+  void add(std::unique_ptr<Analyzer> analyzer);
+
+  /// The analyzer registered under `id`, or nullptr.
+  [[nodiscard]] const Analyzer* find(std::string_view id) const;
+
+  /// Every registered analyzer, sorted by id.
+  [[nodiscard]] std::vector<const Analyzer*> all() const;
+
+  /// Every registered id, sorted.
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+  /// Sorted ids as one comma-separated string — the "registered analyzers"
+  /// tail of every unknown-id error message.
+  [[nodiscard]] std::string id_list() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Analyzer>, std::less<>> analyzers_;
+};
+
+/// Registers the built-in analyzers (dp, gn1, gn2, mp-gfb, mp-bcl, mp-bak1,
+/// mp-bak2, partition) into `registry`. Called once by `instance()`; exposed
+/// so tests can build fully-populated private registries.
+void register_builtin_analyzers(AnalyzerRegistry& registry);
+
+/// Splits a comma-separated id list ("dp,gn2") into ids, dropping empty
+/// segments. Shared by the `--tests=` flags; validation happens where the
+/// list is consumed (the AnalysisEngine constructor or the NDJSON codec),
+/// so unknown-id wording stays in one place.
+[[nodiscard]] std::vector<std::string> split_id_list(const std::string& csv);
+
+}  // namespace reconf::analysis

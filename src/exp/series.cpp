@@ -1,36 +1,69 @@
 #include "exp/series.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "analysis/composite.hpp"
-#include "analysis/dp.hpp"
-#include "analysis/gn1.hpp"
-#include "analysis/gn2.hpp"
 #include "partition/partitioned.hpp"
 #include "sim/engine.hpp"
 
 namespace reconf::exp {
 
-SeriesSpec dp_series(analysis::DpOptions options) {
-  return {"DP", [options](const TaskSet& ts, Device dev) {
-            return analysis::dp_test(ts, dev, options).accepted();
+SeriesSpec engine_series(std::string name, analysis::AnalysisRequest request) {
+  // Sweep predicates only consume accepted(): early exit keeps the verdict
+  // and skips the expensive tail; timing off keeps clock reads out of the
+  // per-sample hot loop.
+  request.early_exit = true;
+  request.measure = false;
+  auto engine =
+      std::make_shared<analysis::AnalysisEngine>(std::move(request));
+  return {std::move(name), [engine](const TaskSet& ts, Device dev) {
+            return engine->run(ts, dev).accepted();
           }};
+}
+
+SeriesSpec analyzer_series(const std::string& id,
+                           analysis::AnalyzerConfig config) {
+  analysis::AnalysisRequest request;
+  request.tests = {id};
+  request.config = std::move(config);
+  return engine_series(id, std::move(request));
+}
+
+namespace {
+
+/// Single-test request with the paper's display name for the figure legend.
+SeriesSpec one_test_series(const char* name, const char* id,
+                           analysis::AnalyzerConfig config) {
+  analysis::AnalysisRequest request;
+  request.tests = {id};
+  request.config = std::move(config);
+  return engine_series(name, std::move(request));
+}
+
+}  // namespace
+
+SeriesSpec dp_series(analysis::DpOptions options) {
+  analysis::AnalyzerConfig config;
+  config.dp = options;
+  return one_test_series("DP", "dp", std::move(config));
 }
 
 SeriesSpec gn1_series(analysis::Gn1Options options) {
-  return {"GN1", [options](const TaskSet& ts, Device dev) {
-            return analysis::gn1_test(ts, dev, options).accepted();
-          }};
+  analysis::AnalyzerConfig config;
+  config.gn1 = options;
+  return one_test_series("GN1", "gn1", std::move(config));
 }
 
 SeriesSpec gn2_series(analysis::Gn2Options options) {
-  return {"GN2", [options](const TaskSet& ts, Device dev) {
-            return analysis::gn2_test(ts, dev, options).accepted();
-          }};
+  analysis::AnalyzerConfig config;
+  config.gn2 = options;
+  return one_test_series("GN2", "gn2", std::move(config));
 }
 
 SeriesSpec any_test_series(analysis::CompositeOptions options) {
-  return {"ANY", [options](const TaskSet& ts, Device dev) {
-            return analysis::composite_test(ts, dev, options).accepted();
-          }};
+  return engine_series(
+      "ANY", analysis::request_from_composite(options, /*for_fkf=*/false));
 }
 
 SeriesSpec sim_series(sim::SchedulerKind scheduler, sim::SimConfig base) {
@@ -44,9 +77,7 @@ SeriesSpec sim_series(sim::SchedulerKind scheduler, sim::SimConfig base) {
 }
 
 SeriesSpec partitioned_series() {
-  return {"PART", [](const TaskSet& ts, Device dev) {
-            return partition::partitioned_schedulable(ts, dev);
-          }};
+  return one_test_series("PART", "partition", {});
 }
 
 std::vector<SeriesSpec> paper_series(sim::SimConfig sim_base, bool include_any,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "analysis/options.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
@@ -18,6 +19,16 @@ struct SeriesSpec {
   std::string name;
   std::function<bool(const TaskSet&, Device)> accept;
 };
+
+/// A curve from an arbitrary AnalysisRequest: the engine is resolved once
+/// and shared by every (concurrent) evaluation. This is how new registry
+/// backends get into figures without touching the harness.
+[[nodiscard]] SeriesSpec engine_series(std::string name,
+                                       analysis::AnalysisRequest request);
+
+/// A single-analyzer curve by registry id (name defaults to the id).
+[[nodiscard]] SeriesSpec analyzer_series(const std::string& id,
+                                         analysis::AnalyzerConfig config = {});
 
 /// The three bound tests of the paper.
 [[nodiscard]] SeriesSpec dp_series(analysis::DpOptions options = {});

@@ -6,6 +6,16 @@
 // Analysis of EDF Scheduling on Reconfigurable Hardware Devices"
 // (IPDPS 2007).
 //
+// The analysis entry point is the Analyzer registry + AnalysisEngine
+// (analysis/engine.hpp, analysis/registry.hpp): every schedulability test —
+// the paper's DP/GN1/GN2, the mp:: multiprocessor cross-checks, the
+// partitioned-EDF baseline, and any backend you register yourself — is an
+// `Analyzer` with an id and capability metadata (scheduler soundness,
+// deadline model, cost class). An `AnalysisEngine` resolves an
+// `AnalysisRequest` (test ids, optional scheduler restriction, per-test
+// options) once and then serves thread-safe, deterministic verdicts with
+// per-analyzer reports, timings and a configuration fingerprint for caching.
+//
 // Typical use:
 //
 //   #include "reconf/reconf.hpp"
@@ -13,15 +23,27 @@
 //
 //   const TaskSet ts({make_task(2.10, 5, 5, 7), make_task(2.00, 7, 7, 7)});
 //   const Device fpga{10};
-//   const auto verdict = analysis::composite_test(ts, fpga);
-//   const auto run = sim::simulate(ts, fpga);
+//
+//   // Section 6 recommendation: run the paper trio, accept if any accepts.
+//   const analysis::AnalysisEngine engine(analysis::AnalysisRequest{});
+//   const auto verdict = engine.run(ts, fpga);          // per-test reports
+//   // Or the one-call legacy shim over the same engine:
+//   const auto any = analysis::composite_test(ts, fpga);
+//
+//   const auto run = sim::simulate(ts, fpga);           // validate by sim
+//
+// The svc/ layer (AdmissionSession, run_batch, NDJSON codec) serves engine
+// verdicts at scale behind a sharded LRU VerdictCache keyed by the
+// canonical taskset hash mixed with the engine fingerprint.
 
 #include "analysis/composite.hpp"
 #include "analysis/dp.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
 #include "analysis/hash.hpp"
 #include "analysis/overhead.hpp"
+#include "analysis/registry.hpp"
 #include "analysis/sensitivity.hpp"
 #include "area2d/gen2d.hpp"
 #include "area2d/grid_map.hpp"

@@ -1,23 +1,30 @@
 #include "svc/batch.hpp"
 
+#include <map>
+#include <utility>
+
 #include "analysis/composite.hpp"
 #include "analysis/hash.hpp"
 
 namespace reconf::svc {
 
-std::uint64_t verdict_cache_key(const TaskSet& ts, Device device,
-                                const analysis::CompositeOptions& options,
-                                bool for_fkf) noexcept {
-  return analysis::mix64(analysis::canonical_hash(ts, device) ^
-                         analysis::options_fingerprint(options, for_fkf));
-}
+namespace {
 
-BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
-                              const BatchOptions& options) {
+/// Core evaluation against a prebuilt engine: cache lookup keyed by
+/// (canonical taskset hash, engine fingerprint), analysis on miss.
+BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
+                           const BatchRequest& request, VerdictCache* cache) {
   BatchVerdict out;
   out.id = request.id;
-  out.hash = verdict_cache_key(request.taskset, request.device,
-                               options.analysis, options.for_fkf);
+  if (engine.empty()) {
+    // Refusing beats silently answering kInconclusive for every input: the
+    // caller selected tests that all fell to the scheduler restriction
+    // (e.g. {"gn1"} under an EDF-FkF pipeline) and must be told so.
+    out.error = "no analyzers to run: the selected tests were all removed "
+                "by the pipeline's scheduler restriction";
+    return out;
+  }
+  out.hash = verdict_cache_key(request.taskset, request.device, engine);
 
   if (cache != nullptr) {
     if (auto cached = cache->lookup(out.hash)) {
@@ -28,22 +35,76 @@ BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
     }
   }
 
-  const auto report = analysis::composite_test(
-      request.taskset, request.device, options.analysis, options.for_fkf);
+  const auto report = engine.run(request.taskset, request.device);
   out.accepted = report.accepted();
   out.accepted_by = report.accepted_by();
+  out.sub.reserve(report.outcomes.size());
+  for (const analysis::AnalyzerOutcome& o : report.outcomes) {
+    out.sub.push_back(
+        {o.id, o.ran, o.ran && o.report.accepted(), o.seconds * 1e6});
+  }
   if (cache != nullptr) {
     cache->insert(out.hash, CachedVerdict{out.accepted, out.accepted_by});
   }
   return out;
 }
 
+/// Engine for a request that names its own tests: the pipeline request with
+/// the lineup overridden.
+analysis::AnalysisEngine engine_for(const BatchRequest& request,
+                                    const BatchOptions& options) {
+  analysis::AnalysisRequest custom = options.request;
+  custom.tests = request.tests;
+  return analysis::AnalysisEngine(std::move(custom));
+}
+
+}  // namespace
+
+std::uint64_t verdict_cache_key(const TaskSet& ts, Device device,
+                                const analysis::AnalysisEngine& engine)
+    noexcept {
+  return analysis::mix64(analysis::canonical_hash(ts, device) ^
+                         engine.fingerprint());
+}
+
+std::uint64_t verdict_cache_key(const TaskSet& ts, Device device,
+                                const analysis::CompositeOptions& options,
+                                bool for_fkf) {
+  return analysis::mix64(analysis::canonical_hash(ts, device) ^
+                         analysis::options_fingerprint(options, for_fkf));
+}
+
+BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
+                              const BatchOptions& options) {
+  if (request.tests.empty()) {
+    return evaluate_with(analysis::AnalysisEngine(options.request), request,
+                         cache);
+  }
+  return evaluate_with(engine_for(request, options), request, cache);
+}
+
 std::vector<BatchVerdict> run_batch(std::span<const BatchRequest> requests,
                                     VerdictCache* cache, ThreadPool& pool,
                                     const BatchOptions& options) {
+  // One shared engine serves every default-lineup request in the batch;
+  // run() is thread-safe (stats cells are atomic). Custom lineups are
+  // resolved once per distinct `tests` vector, up front — workers never
+  // touch the registry mutex, and a stream where every line repeats the
+  // same override costs one engine, not N.
+  const analysis::AnalysisEngine shared(options.request);
+  std::map<std::vector<std::string>, analysis::AnalysisEngine> custom;
+  for (const BatchRequest& request : requests) {
+    if (!request.tests.empty() && !custom.contains(request.tests)) {
+      custom.emplace(request.tests, engine_for(request, options));
+    }
+  }
+
   std::vector<BatchVerdict> results(requests.size());
   pool.parallel_for(requests.size(), [&](std::size_t i) {
-    results[i] = evaluate_request(requests[i], cache, options);
+    const BatchRequest& request = requests[i];
+    const analysis::AnalysisEngine& engine =
+        request.tests.empty() ? shared : custom.at(request.tests);
+    results[i] = evaluate_with(engine, request, cache);
   });
   return results;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
 #include "analysis/options.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -20,39 +21,85 @@ struct BatchRequest {
   std::string id;
   TaskSet taskset;
   Device device;
+  /// Per-request analyzer lineup (registry ids, e.g. {"dp","gn2"}). Empty =
+  /// the pipeline default (BatchOptions::request.tests). Unknown ids throw
+  /// analysis::UnknownAnalyzerError from the evaluation — the NDJSON codec
+  /// validates at parse time so malformed requests never reach the pool.
+  std::vector<std::string> tests;
+};
+
+/// Per-analyzer slice of a freshly computed verdict, in execution order —
+/// the "sub" array of NDJSON responses.
+struct SubVerdict {
+  std::string test;      ///< analyzer id
+  bool ran = false;      ///< false when early-exit skipped it
+  bool accepted = false;
+  double micros = 0.0;   ///< wall time of this analyzer, microseconds
 };
 
 /// Verdict for one BatchRequest, at the same index in the output vector.
 ///
 /// Determinism contract: `accepted`, `accepted_by` and `hash` depend only on
-/// the request (the analysis is pure), so a batch produces bit-identical
-/// verdict vectors for any worker count. `cache_hit` is a diagnostic and is
-/// NOT deterministic — with duplicates in flight, which duplicate wins the
-/// race to insert depends on scheduling.
+/// the request (the analysis is pure and the engine's execution order is
+/// fixed), so a batch produces bit-identical verdict vectors for any worker
+/// count. `cache_hit` and `sub` are diagnostics and are NOT deterministic —
+/// with duplicates in flight, which duplicate wins the race to insert (and
+/// therefore which response carries fresh sub-reports) depends on
+/// scheduling.
 struct BatchVerdict {
   std::string id;
   bool accepted = false;
-  std::string accepted_by;
+  std::string accepted_by;  ///< accepting analyzer id ("dp"/"gn1"/…), or empty
   std::uint64_t hash = 0;
   bool cache_hit = false;
+  /// Per-analyzer outcomes; populated only when freshly analyzed (a cache
+  /// hit stores just the CachedVerdict summary).
+  std::vector<SubVerdict> sub;
+  /// Non-empty when the request could not be analyzed at all — e.g. its
+  /// analyzer selection filtered down to nothing under the pipeline's
+  /// scheduler restriction. A verdict with an error is NOT "inconclusive";
+  /// the frontend answers with an error line instead of a verdict.
+  std::string error;
 };
 
+/// Pipeline-wide analysis configuration: one AnalysisRequest shared by all
+/// requests that don't name their own tests. Serving default: the paper
+/// trio with cheapest-first early exit (the union verdict is decided by the
+/// first acceptance, so the O(N³) test only runs when the cheap ones fail)
+/// and timing on — it feeds the NDJSON "sub" array.
 struct BatchOptions {
-  analysis::CompositeOptions analysis;
-  bool for_fkf = false;
+  [[nodiscard]] static analysis::AnalysisRequest default_request() {
+    analysis::AnalysisRequest request;
+    request.early_exit = true;
+    return request;
+  }
+
+  analysis::AnalysisRequest request = default_request();
 };
 
-/// The VerdictCache key for analyzing `ts` on `device` under a given test
-/// configuration: canonical taskset hash mixed with the options fingerprint.
-/// Two callers with different test lineups (e.g. for_fkf on/off) must never
-/// share cache lines — GN1 acceptances are unsound for EDF-FkF.
+/// The VerdictCache key for analyzing `ts` on `device` under `engine`:
+/// canonical taskset hash mixed with the engine's configuration
+/// fingerprint (selected analyzer set + per-test options). Two callers with
+/// different lineups (e.g. {dp} vs {dp,gn1,gn2}, or an EDF-FkF filter) must
+/// never share cache lines — a {dp}-only verdict answered to a full-trio
+/// caller would be wrong, and a GN1 acceptance served to an EDF-FkF caller
+/// would be a deadline-safety bug.
 [[nodiscard]] std::uint64_t verdict_cache_key(
     const TaskSet& ts, Device device,
-    const analysis::CompositeOptions& options, bool for_fkf) noexcept;
+    const analysis::AnalysisEngine& engine) noexcept;
+
+/// Legacy-composite spelling of the same key (bridges pre-engine callers;
+/// equal to the engine overload for the equivalent request). Resolves a
+/// throwaway engine for the fingerprint — prefer the engine overload on
+/// hot paths.
+[[nodiscard]] std::uint64_t verdict_cache_key(
+    const TaskSet& ts, Device device,
+    const analysis::CompositeOptions& options, bool for_fkf);
 
 /// Evaluates every request, fanning out across `pool` and consulting/filling
 /// `cache` (nullptr to always analyze). Results are indexed by request —
-/// response order never depends on completion order.
+/// response order never depends on completion order. The shared engine for
+/// default-lineup requests is built once per batch.
 [[nodiscard]] std::vector<BatchVerdict> run_batch(
     std::span<const BatchRequest> requests, VerdictCache* cache,
     ThreadPool& pool, const BatchOptions& options = {});

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/registry.hpp"
 #include "task/io.hpp"
 
 namespace reconf::svc {
@@ -306,6 +307,31 @@ Task parse_task_object(const JsonValue& v, std::size_t index) {
 
 namespace {
 
+/// Validates a "tests" array: non-empty, strings only, every id registered.
+/// Unknown ids are rejected here — with the registered ids listed — so a
+/// typo'd lineup turns into a correlatable error response instead of an
+/// exception inside the batch pipeline.
+std::vector<std::string> parse_tests_array(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::kArray || v.items.empty()) {
+    bad_request("tests must be a non-empty array of analyzer ids");
+  }
+  const auto& registry = analysis::AnalyzerRegistry::instance();
+  std::vector<std::string> out;
+  out.reserve(v.items.size());
+  for (std::size_t i = 0; i < v.items.size(); ++i) {
+    const JsonValue& item = v.items[i];
+    if (item.kind != JsonValue::Kind::kString) {
+      bad_request("tests[" + std::to_string(i) + "] must be a string");
+    }
+    if (registry.find(item.text) == nullptr) {
+      bad_request("unknown analyzer '" + item.text +
+                  "'; registered analyzers: " + registry.id_list());
+    }
+    out.push_back(item.text);
+  }
+  return out;
+}
+
 /// Body of parse_request_line once the id is known; split out so every
 /// validation failure can be rethrown with the id attached.
 BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
@@ -323,6 +349,8 @@ BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
       tasks = &val;
     } else if (key == "taskset") {
       taskset_text = &val;
+    } else if (key == "tests") {
+      out.tests = parse_tests_array(val);
     } else {
       bad_request("unknown key '" + key + "'");
     }
@@ -447,6 +475,24 @@ std::string format_verdict_line(const BatchVerdict& verdict,
                   taskset->size(), taskset->time_utilization(),
                   taskset->system_utilization());
     out += buf;
+  }
+  if (!verdict.sub.empty()) {
+    out += ",\"sub\":[";
+    for (std::size_t i = 0; i < verdict.sub.size(); ++i) {
+      const SubVerdict& s = verdict.sub[i];
+      if (i != 0) out += ",";
+      out += "{\"test\":\"" + json_escape(s.test) + "\"";
+      if (!s.ran) {
+        out += ",\"skipped\":true}";
+        continue;
+      }
+      out += ",\"verdict\":\"";
+      out += s.accepted ? "schedulable" : "inconclusive";
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "\",\"micros\":%.3g}", s.micros);
+      out += buf;
+    }
+    out += "]";
   }
   out += "}";
   return out;

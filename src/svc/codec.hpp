@@ -28,6 +28,7 @@ class CodecError : public std::runtime_error {
 ///
 ///   {"id":"r1","device":100,"tasks":[{"c":126,"d":700,"t":700,"a":9},...]}
 ///   {"id":"r2","taskset":"taskset v1\ndevice 100\ntask - 126 700 700 9\n"}
+///   {"id":"r3","device":100,"tasks":[...],"tests":["dp","gn2"]}
 ///
 /// Fields:
 ///   id       optional string (or integer, stringified); echoed in responses
@@ -37,6 +38,10 @@ class CodecError : public std::runtime_error {
 ///            a (area columns) and an optional string "name"
 ///   taskset  alternative to device+tasks: the task/io.hpp v1 text format
 ///            embedded as one JSON string (layered on io::from_string)
+///   tests    optional non-empty array of analyzer ids for this request
+///            (resolved via analysis::AnalyzerRegistry; an unknown id is
+///            rejected here, with the registered ids listed, so it never
+///            reaches the batch pipeline). Absent = the serving default.
 ///
 /// Unknown top-level or per-task keys are rejected — a typo'd "perid" must
 /// not silently analyze a default, for the same reason the analysis refuses
@@ -45,11 +50,17 @@ class CodecError : public std::runtime_error {
 
 /// Response line for one verdict:
 ///
-///   {"id":"r1","verdict":"schedulable","accepted_by":"DP","cache":"hit",
-///    "hash":"59a0e6...","n":3,"ut":0.91,"us":27.4}
+///   {"id":"r1","verdict":"schedulable","accepted_by":"dp","cache":"hit",
+///    "hash":"59a0e6...","n":3,"ut":0.91,"us":27.4,
+///    "sub":[{"test":"dp","verdict":"schedulable","micros":1.9},
+///           {"test":"gn1","skipped":true},{"test":"gn2","skipped":true}]}
 ///
-/// `taskset` supplies the n/ut/us diagnostics; pass nullptr to omit them
-/// (e.g. when echoing a cached verdict without rebuilding the set).
+/// `accepted_by` is the accepting analyzer's registry id. `sub` carries the
+/// per-analyzer sub-verdicts and timings of a fresh analysis in engine
+/// execution order ("skipped" = early-exit never ran it); cache hits store
+/// only the summary, so `sub` is omitted. `taskset` supplies the n/ut/us
+/// diagnostics; pass nullptr to omit them (e.g. when echoing a cached
+/// verdict without rebuilding the set).
 [[nodiscard]] std::string format_verdict_line(const BatchVerdict& verdict,
                                               const TaskSet* taskset);
 

@@ -2,20 +2,23 @@
 
 #include <utility>
 
+#include "analysis/composite.hpp"
 #include "common/contracts.hpp"
 #include "svc/batch.hpp"
 
 namespace reconf::svc {
 
 AdmissionSession::AdmissionSession(Device device, VerdictCache* cache,
-                                   analysis::CompositeOptions options,
-                                   bool for_fkf)
-    : device_(device),
-      cache_(cache),
-      options_(options),
-      for_fkf_(for_fkf) {
+                                   analysis::AnalysisRequest request)
+    : device_(device), cache_(cache), engine_(std::move(request)) {
   RECONF_EXPECTS(device.valid());
 }
+
+AdmissionSession::AdmissionSession(Device device, VerdictCache* cache,
+                                   analysis::CompositeOptions options,
+                                   bool for_fkf)
+    : AdmissionSession(device, cache,
+                       analysis::request_from_composite(options, for_fkf)) {}
 
 AdmissionDecision AdmissionSession::try_admit(const Task& t) {
   ++stats_.attempts;
@@ -25,7 +28,7 @@ AdmissionDecision AdmissionSession::try_admit(const Task& t) {
   const TaskSet trial{std::move(candidate)};
 
   AdmissionDecision out;
-  out.hash = verdict_cache_key(trial, device_, options_, for_fkf_);
+  out.hash = verdict_cache_key(trial, device_, engine_);
 
   if (cache_ != nullptr) {
     if (auto cached = cache_->lookup(out.hash)) {
@@ -35,7 +38,7 @@ AdmissionDecision AdmissionSession::try_admit(const Task& t) {
     }
   }
   if (!out.cache_hit) {
-    auto report = analysis::composite_test(trial, device_, options_, for_fkf_);
+    auto report = engine_.run(trial, device_);
     out.admitted = report.accepted();
     out.accepted_by = report.accepted_by();
     if (cache_ != nullptr) {

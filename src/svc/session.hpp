@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/composite.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/options.hpp"
 #include "common/types.hpp"
 #include "svc/verdict_cache.hpp"
@@ -22,11 +22,12 @@ struct AdmissionDecision {
   std::uint64_t hash = 0;
   /// Whether the verdict came from the cache instead of a fresh analysis.
   bool cache_hit = false;
-  /// First accepting test ("DP"/"GN1"/"GN2"); empty when rejected.
+  /// Id of the first accepting analyzer ("dp"/"gn1"/"gn2"/…); empty when
+  /// rejected.
   std::string accepted_by;
-  /// Full composite diagnostics; only present when the verdict was freshly
-  /// computed (a cache hit stores just the CachedVerdict summary).
-  std::optional<analysis::CompositeReport> report;
+  /// Full per-analyzer diagnostics; only present when the verdict was
+  /// freshly computed (a cache hit stores just the CachedVerdict summary).
+  std::optional<analysis::AnalysisReport> report;
 };
 
 /// Aggregate counters for one session's lifetime.
@@ -39,27 +40,36 @@ struct SessionStats {
 };
 
 /// Incremental online admission control over one device — the runtime-facing
-/// wrapper around `analysis::composite_test` that the paper's introduction
-/// motivates: hardware tasks arrive one at a time and the runtime must decide
-/// instantly whether the new task can be admitted without endangering the
-/// deadlines already guaranteed.
+/// wrapper around an analysis::AnalysisEngine that the paper's introduction
+/// motivates: hardware tasks arrive one at a time and the runtime must
+/// decide instantly whether the new task can be admitted without
+/// endangering the deadlines already guaranteed.
 ///
 /// The session keeps the currently admitted set. `try_admit` evaluates the
 /// extended set, consulting an optional shared VerdictCache (keyed by
 /// `verdict_cache_key`, which covers both the taskset and this session's
-/// test configuration) before falling back to the composite test; tasks
-/// can later `remove` (accelerator released), after which a re-admission of
-/// the same configuration is a guaranteed cache hit.
+/// engine fingerprint — analyzer lineup + per-test options) before falling
+/// back to the engine; tasks can later `remove` (accelerator released),
+/// after which a re-admission of the same configuration is a guaranteed
+/// cache hit.
 ///
 /// Not thread-safe: one session serves one admission stream. The cache may
-/// be shared across sessions/threads — it synchronizes internally.
+/// be shared across sessions/threads — it synchronizes internally, and the
+/// fingerprint in the key keeps sessions with different test lineups from
+/// ever sharing verdicts.
 class AdmissionSession {
  public:
   /// `cache` may be nullptr (every decision re-analyzes). The session keeps
-  /// the pointer; the cache must outlive the session.
+  /// the pointer; the cache must outlive the session. `request` selects the
+  /// analyzer lineup (default: the paper trio, run-all for full
+  /// diagnostics); throws analysis::UnknownAnalyzerError on unknown ids.
   explicit AdmissionSession(Device device, VerdictCache* cache = nullptr,
-                            analysis::CompositeOptions options = {},
-                            bool for_fkf = false);
+                            analysis::AnalysisRequest request = {});
+
+  /// Legacy-composite spelling: DP/GN1/GN2 by use_* flags plus the for_fkf
+  /// scheduler restriction (bridged via request_from_composite).
+  AdmissionSession(Device device, VerdictCache* cache,
+                   analysis::CompositeOptions options, bool for_fkf = false);
 
   /// Decides task `t` against the currently admitted set; on acceptance the
   /// task becomes part of the set.
@@ -80,12 +90,15 @@ class AdmissionSession {
   [[nodiscard]] Device device() const noexcept { return device_; }
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] VerdictCache* cache() const noexcept { return cache_; }
+  /// The resolved analysis pipeline (execution order, fingerprint, stats).
+  [[nodiscard]] const analysis::AnalysisEngine& engine() const noexcept {
+    return engine_;
+  }
 
  private:
   Device device_;
   VerdictCache* cache_ = nullptr;
-  analysis::CompositeOptions options_;
-  bool for_fkf_ = false;
+  analysis::AnalysisEngine engine_;
   std::vector<Task> admitted_;
   SessionStats stats_;
 };

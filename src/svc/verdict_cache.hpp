@@ -12,13 +12,14 @@
 
 namespace reconf::svc {
 
-/// The cacheable part of a composite verdict: everything the admission path
+/// The cacheable part of an engine verdict: everything the admission path
 /// needs to answer a repeated request without re-running the tests. The full
-/// per-task diagnostics are deliberately not cached — they are large, and a
-/// caller that wants them re-analyzes (see AdmissionSession::try_admit).
+/// per-analyzer diagnostics are deliberately not cached — they are large,
+/// and a caller that wants them re-analyzes (see
+/// AdmissionSession::try_admit).
 struct CachedVerdict {
   bool accepted = false;
-  /// Name of the first accepting test ("DP"/"GN1"/"GN2"), empty on reject.
+  /// Id of the first accepting analyzer ("dp"/"gn1"/…), empty on reject.
   std::string accepted_by;
 };
 

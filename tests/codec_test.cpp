@@ -60,6 +60,17 @@ TEST(CodecParse, RoundTripsThroughIoWriter) {
   }
 }
 
+TEST(CodecParse, TestsArraySelectsAnalyzers) {
+  const auto req = svc::parse_request_line(
+      R"({"id":"r9","device":100,"tasks":[{"c":1,"d":2,"t":2,"a":1}],)"
+      R"("tests":["gn2","dp"]})");
+  EXPECT_EQ(req.tests, (std::vector<std::string>{"gn2", "dp"}));
+  // Absent => empty => the serving default lineup.
+  const auto plain = svc::parse_request_line(
+      R"({"device":100,"tasks":[{"c":1,"d":2,"t":2,"a":1}]})");
+  EXPECT_TRUE(plain.tests.empty());
+}
+
 TEST(CodecParse, MissingIdDefaultsToEmpty) {
   const auto req = svc::parse_request_line(
       R"({"device":10,"tasks":[{"c":1,"d":2,"t":2,"a":1}]})");
@@ -115,6 +126,18 @@ TEST(CodecParse, RejectsMalformedInput) {
                   "control character");
 }
 
+TEST(CodecParse, TestsArrayRejectsUnknownAndMalformed) {
+  expect_rejected(
+      R"({"device":10,"tasks":[],"tests":["gnX"]})", "unknown analyzer 'gnX'");
+  // The error is actionable: it lists what IS registered.
+  expect_rejected(
+      R"({"device":10,"tasks":[],"tests":["gnX"]})", "registered analyzers:");
+  expect_rejected(R"({"device":10,"tasks":[],"tests":[]})", "non-empty");
+  expect_rejected(R"({"device":10,"tasks":[],"tests":"dp"})", "non-empty");
+  expect_rejected(R"({"device":10,"tasks":[],"tests":[42]})",
+                  "tests[0] must be a string");
+}
+
 TEST(CodecParse, ErrorsCarryRequestIdWhenRecoverable) {
   try {
     (void)svc::parse_request_line(
@@ -167,6 +190,34 @@ TEST(CodecFormat, RejectionOmitsAcceptedBy) {
   EXPECT_EQ(line.find("accepted_by"), std::string::npos);
   EXPECT_NE(line.find(R"("cache":"miss")"), std::string::npos);
   EXPECT_EQ(line.find("\"n\":"), std::string::npos);
+}
+
+TEST(CodecFormat, SubReportsRenderedInExecutionOrder) {
+  svc::BatchVerdict v;
+  v.id = "r3";
+  v.accepted = true;
+  v.accepted_by = "gn2";
+  v.sub = {{"dp", true, false, 1.5},
+           {"gn2", true, true, 12.25},
+           {"gn1", false, false, 0.0}};
+  const std::string line = svc::format_verdict_line(v, nullptr);
+  const auto dp = line.find(R"({"test":"dp","verdict":"inconclusive")");
+  const auto gn2 = line.find(R"({"test":"gn2","verdict":"schedulable")");
+  const auto gn1 = line.find(R"({"test":"gn1","skipped":true})");
+  EXPECT_NE(dp, std::string::npos) << line;
+  EXPECT_NE(gn2, std::string::npos) << line;
+  EXPECT_NE(gn1, std::string::npos) << line;
+  EXPECT_LT(dp, gn2);
+  EXPECT_LT(gn2, gn1);
+  EXPECT_NE(line.find(R"("micros":12.2)"), std::string::npos) << line;
+}
+
+TEST(CodecFormat, CacheHitOmitsSubReports) {
+  svc::BatchVerdict v;
+  v.id = "r4";
+  v.cache_hit = true;
+  const std::string line = svc::format_verdict_line(v, nullptr);
+  EXPECT_EQ(line.find("\"sub\""), std::string::npos) << line;
 }
 
 TEST(CodecFormat, ErrorLine) {

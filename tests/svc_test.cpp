@@ -268,9 +268,12 @@ TEST(AdmissionSession, SharedCacheIsolatesTestConfigurations) {
     EXPECT_NE(nf_decision.hash, fkf_decision.hash);
     // The FkF-sound subset excludes GN1 entirely.
     if (fkf_decision.admitted) {
-      EXPECT_NE(fkf_decision.accepted_by, "GN1");
+      EXPECT_NE(fkf_decision.accepted_by, "gn1");
     }
   }
+  // The capability filter drops gn1 from the FkF session's lineup.
+  EXPECT_EQ(fkf.engine().execution_order(),
+            (std::vector<std::string>{"dp", "gn2"}));
 }
 
 TEST(BatchPipeline, CacheKeyCoversAnalysisOptions) {
@@ -285,15 +288,90 @@ TEST(BatchPipeline, CacheKeyCoversAnalysisOptions) {
   EXPECT_FALSE(first.cache_hit);
 
   svc::BatchOptions gn2_only;
-  gn2_only.analysis.use_dp = false;
-  gn2_only.analysis.use_gn1 = false;
+  gn2_only.request.tests = {"gn2"};
   const auto other = svc::evaluate_request(request, &cache, gn2_only);
-  EXPECT_FALSE(other.cache_hit) << "different options must miss";
+  EXPECT_FALSE(other.cache_hit) << "different analyzer set must miss";
   EXPECT_NE(other.hash, first.hash);
+
+  svc::BatchOptions strict;
+  strict.request.tests = {"gn2"};
+  strict.request.config.gn2.non_strict_condition2 = true;
+  const auto tweaked = svc::evaluate_request(request, &cache, strict);
+  EXPECT_FALSE(tweaked.cache_hit) << "different per-test options must miss";
+  EXPECT_NE(tweaked.hash, other.hash);
 
   const auto repeat = svc::evaluate_request(request, &cache, nf);
   EXPECT_TRUE(repeat.cache_hit);
   EXPECT_EQ(repeat.accepted, first.accepted);
+}
+
+TEST(BatchPipeline, PerRequestTestsOverrideThePipelineDefault) {
+  svc::BatchRequest full;
+  full.id = "full";
+  full.taskset = table3_taskset();
+  full.device = Device{20};
+
+  svc::BatchRequest dp_only = full;
+  dp_only.id = "dp";
+  dp_only.tests = {"dp"};
+
+  svc::VerdictCache cache(64);
+  const auto a = svc::evaluate_request(full, &cache, {});
+  const auto b = svc::evaluate_request(dp_only, &cache, {});
+  EXPECT_NE(a.hash, b.hash)
+      << "a {dp}-only verdict must never share a cache line with the trio";
+  EXPECT_FALSE(b.cache_hit);
+
+  // The override reaches the engine: only dp appears in the sub-reports.
+  ASSERT_EQ(b.sub.size(), 1u);
+  EXPECT_EQ(b.sub[0].test, "dp");
+
+  // Same override again: cache hit on the {dp} line.
+  const auto c = svc::evaluate_request(dp_only, &cache, {});
+  EXPECT_TRUE(c.cache_hit);
+  EXPECT_EQ(c.accepted, b.accepted);
+}
+
+TEST(BatchPipeline, SelectionEmptiedByFilterYieldsErrorNotInconclusive) {
+  // {"tests":["gn1"]} under an EDF-FkF pipeline: gn1 is filtered out as
+  // unsound, leaving nothing to run — the caller gets an error, never a
+  // silent kInconclusive that looks like "gn1 ran and failed".
+  svc::BatchRequest request;
+  request.id = "e";
+  request.taskset = table3_taskset();
+  request.device = Device{20};
+  request.tests = {"gn1"};
+
+  svc::BatchOptions fkf;
+  fkf.request.scheduler = analysis::Scheduler::kEdfFkF;
+  const auto verdict = svc::evaluate_request(request, nullptr, fkf);
+  EXPECT_FALSE(verdict.error.empty());
+  EXPECT_FALSE(verdict.accepted);
+
+  // Same via the batch path.
+  ThreadPool pool(2);
+  const auto batch = svc::run_batch(std::span(&request, 1), nullptr, pool,
+                                    fkf);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batch[0].error.empty());
+}
+
+TEST(BatchPipeline, FreshVerdictsCarrySubReportsInExecutionOrder) {
+  svc::BatchRequest request;
+  request.id = "s";
+  request.taskset = table3_taskset();
+  request.device = Device{20};
+
+  const auto verdict = svc::evaluate_request(request, nullptr, {});
+  ASSERT_EQ(verdict.sub.size(), 3u);
+  EXPECT_EQ(verdict.sub[0].test, "dp");   // cheapest first
+  EXPECT_EQ(verdict.sub[1].test, "gn1");
+  EXPECT_EQ(verdict.sub[2].test, "gn2");
+  if (verdict.accepted) {
+    EXPECT_EQ(verdict.accepted_by, verdict.sub[0].accepted   ? "dp"
+                                   : verdict.sub[1].accepted ? "gn1"
+                                                             : "gn2");
+  }
 }
 
 TEST(AdmissionSession, SharedCacheServesSecondSession) {

@@ -1,7 +1,10 @@
 // reconf_cli — command-line front end for the library, so tasksets can be
 // analyzed, simulated and generated without writing C++.
 //
-//   reconf_cli analyze  <taskset-file>
+//   reconf_cli analyze  <taskset-file> [--tests=dp,gn1,gn2,...] [--fkf]
+//                       # --tests: analyzer registry ids (unknown id =>
+//                       # error listing the registered analyzers)
+//                       # --fkf: keep only EDF-FkF-sound analyzers
 //   reconf_cli simulate <taskset-file> [--scheduler=nf|fkf|us]
 //                       [--placement=migrate|contiguous]
 //                       [--strategy=first|best|worst]
@@ -17,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,8 +69,9 @@ std::optional<io::ParsedTaskSet> load(const std::string& path) {
   }
 }
 
-void print_report(const analysis::TestReport& r) {
-  std::printf("  %-4s : %s", r.test_name.c_str(),
+void print_outcome(const analysis::AnalyzerOutcome& o) {
+  const analysis::TestReport& r = o.report;
+  std::printf("  %-9s: %s", o.id.c_str(),
               r.accepted() ? "SCHEDULABLE" : "inconclusive");
   if (!r.accepted() && r.first_failing_task) {
     const auto& d = r.per_task[*r.first_failing_task];
@@ -74,28 +79,71 @@ void print_report(const analysis::TestReport& r) {
                 d.lhs, d.rhs);
   }
   if (!r.note.empty()) std::printf(" [%s]", r.note.c_str());
-  std::printf("\n");
+  std::printf("  (%.1f us)\n", o.seconds * 1e6);
 }
 
 int cmd_analyze(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  const auto parsed = load(args[0]);
+  std::string path;
+  for (const std::string& a : args) {
+    if (a.rfind("--", 0) != 0) {
+      path = a;
+      break;
+    }
+  }
+  if (path.empty()) return usage();
+  const auto parsed = load(path);
   if (!parsed) return 1;
 
+  analysis::AnalysisRequest request;  // defaults to the paper trio
+  const bool explicit_tests = flag_value(args, "tests").has_value();
+  if (const auto t = flag_value(args, "tests")) {
+    request.tests = analysis::split_id_list(*t);
+    if (request.tests.empty()) {
+      std::fprintf(
+          stderr, "--tests needs at least one analyzer id; registered: %s\n",
+          analysis::AnalyzerRegistry::instance().id_list().c_str());
+      return 2;
+    }
+  }
+  if (has_flag(args, "fkf")) {
+    request.scheduler = analysis::Scheduler::kEdfFkF;
+  }
+  // Run everything for full diagnostics; the serving paths early-exit.
+  request.early_exit = false;
+
+  std::optional<analysis::AnalysisEngine> engine;
+  try {
+    engine.emplace(std::move(request));
+  } catch (const analysis::UnknownAnalyzerError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (engine->empty()) {
+    std::fprintf(stderr,
+                 "none of the selected tests is sound for the --fkf "
+                 "restriction; registered analyzers: %s\n",
+                 analysis::AnalyzerRegistry::instance().id_list().c_str());
+    return 2;
+  }
+
   std::cout << io::format_table(parsed->taskset, parsed->device) << "\n";
-  print_report(analysis::dp_test(parsed->taskset, parsed->device));
-  print_report(analysis::gn1_test(parsed->taskset, parsed->device));
-  print_report(analysis::gn2_test(parsed->taskset, parsed->device));
-  const auto any = analysis::composite_test(parsed->taskset, parsed->device);
-  std::printf("  ANY  : %s%s%s\n",
-              any.accepted() ? "SCHEDULABLE" : "inconclusive",
-              any.accepted() ? " via " : "",
-              any.accepted_by().c_str());
-  const auto part =
-      partition::partition_tasks(parsed->taskset, parsed->device);
-  std::printf("  PART : %s (%zu partitions, %d columns)\n",
-              part.feasible ? "feasible" : "infeasible",
-              part.partitions.size(), part.total_width);
+  const auto report = engine->run(parsed->taskset, parsed->device);
+  for (const auto& o : report.outcomes) {
+    if (o.ran) print_outcome(o);
+  }
+  std::printf("  %-9s: %s%s%s\n", "ANY",
+              report.accepted() ? "SCHEDULABLE" : "inconclusive",
+              report.accepted() ? " via " : "",
+              report.accepted_by().c_str());
+  if (!explicit_tests) {
+    // The partitioned baseline rides along in the default view (it is its
+    // own scheduler, so it stays out of the ANY union above).
+    const auto part =
+        partition::partition_tasks(parsed->taskset, parsed->device);
+    std::printf("  %-9s: %s (%zu partitions, %d columns)\n", "partition",
+                part.feasible ? "feasible" : "infeasible",
+                part.partitions.size(), part.total_width);
+  }
   return 0;
 }
 
@@ -220,8 +268,9 @@ int cmd_width(const std::vector<std::string>& args) {
       {"GN2", [](const TaskSet& t, Device d) {
          return analysis::gn2_test(t, d).accepted();
        }},
-      {"ANY", [](const TaskSet& t, Device d) {
-         return analysis::composite_test(t, d).accepted();
+      {"ANY", [engine = std::make_shared<analysis::AnalysisEngine>(
+                   analysis::fast_any_request())](const TaskSet& t, Device d) {
+         return engine->run(t, d).accepted();
        }},
       {"PART", [](const TaskSet& t, Device d) {
          return partition::partitioned_schedulable(t, d);

@@ -5,7 +5,7 @@
 //
 //   reconf_serve [<requests.ndjson>] [--threads=N] [--batch=N]
 //                [--cache-capacity=N] [--no-cache] [--shards=N]
-//                [--fkf] [--stats]
+//                [--tests=LIST] [--fkf] [--stats]
 //
 //   --threads=N         worker threads for the batch pipeline (0 = cores)
 //   --batch=N           requests evaluated per pipeline wave (default 256;
@@ -13,7 +13,11 @@
 //   --cache-capacity=N  verdict cache entries (default 65536)
 //   --no-cache          disable the cache (every request re-analyzes)
 //   --shards=N          cache shard count (default 16)
-//   --fkf               restrict to the EDF-FkF-sound tests (DP, GN2)
+//   --tests=LIST        default analyzer lineup, comma-separated registry
+//                       ids (default dp,gn1,gn2); per-request "tests"
+//                       override it. Unknown ids abort with the registered
+//                       list.
+//   --fkf               keep only the EDF-FkF-sound analyzers (drops GN1)
 //   --stats             print throughput and cache statistics to stderr
 //
 // Request/response format: see src/svc/codec.hpp. Malformed lines produce
@@ -30,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/engine.hpp"
+#include "analysis/registry.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "svc/batch.hpp"
@@ -45,9 +51,30 @@ int usage() {
                "usage: reconf_serve [<requests.ndjson>] [--threads=N] "
                "[--batch=N]\n"
                "                    [--cache-capacity=N] [--no-cache] "
-               "[--shards=N] [--fkf] [--stats]\n"
+               "[--shards=N]\n"
+               "                    [--tests=LIST] [--fkf] [--stats]\n"
                "see the header of tools/reconf_serve.cpp for details\n");
   return 2;
+}
+
+/// Resolves the configured default lineup once at startup — an unknown id
+/// (engine error already lists the registered analyzers) or a lineup that
+/// the scheduler restriction empties must abort here, not degrade every
+/// future response.
+void validate_default_lineup(const svc::BatchOptions& options) {
+  try {
+    const analysis::AnalysisEngine probe(options.request);
+    if (probe.empty()) {
+      std::fprintf(stderr,
+                   "the configured --tests lineup has no analyzer sound for "
+                   "the --fkf restriction; registered analyzers: %s\n",
+                   analysis::AnalyzerRegistry::instance().id_list().c_str());
+      std::exit(2);
+    }
+  } catch (const analysis::UnknownAnalyzerError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
 }
 
 /// Returns the value of `--name=V`, nullopt when absent; exits with usage
@@ -112,8 +139,8 @@ int main(int argc, char** argv) {
     if (a.rfind("--", 0) == 0) {
       static const char* known[] = {"--threads=",        "--batch=",
                                     "--cache-capacity=", "--shards=",
-                                    "--no-cache",        "--fkf",
-                                    "--stats"};
+                                    "--tests=",          "--no-cache",
+                                    "--fkf",             "--stats"};
       bool ok = false;
       for (const char* k : known) {
         const std::string key = k;
@@ -160,7 +187,24 @@ int main(int argc, char** argv) {
   svc::VerdictCache* cache_ptr = cache.enabled() ? &cache : nullptr;
   ThreadPool pool(static_cast<unsigned>(threads));
   svc::BatchOptions options;
-  options.for_fkf = has_flag(args, "fkf");
+  for (const std::string& a : args) {
+    const std::string prefix = "--tests=";
+    if (a.rfind(prefix, 0) == 0) {
+      options.request.tests =
+          analysis::split_id_list(a.substr(prefix.size()));
+      if (options.request.tests.empty()) {
+        std::fprintf(stderr,
+                     "--tests needs at least one analyzer id; registered "
+                     "analyzers: %s\n",
+                     analysis::AnalyzerRegistry::instance().id_list().c_str());
+        return 2;
+      }
+    }
+  }
+  if (has_flag(args, "fkf")) {
+    options.request.scheduler = analysis::Scheduler::kEdfFkF;
+  }
+  validate_default_lineup(options);
 
   Stopwatch clock;
   std::uint64_t served = 0;
@@ -206,11 +250,19 @@ int main(int argc, char** argv) {
         ++errors;
       } else {
         const svc::BatchVerdict& v = verdicts[next_verdict];
-        std::cout << svc::format_verdict_line(
-                         v, &requests[next_verdict].taskset)
-                  << "\n";
+        if (!v.error.empty()) {
+          // Analyzable selection collapsed to nothing (e.g. per-request
+          // "tests":["gn1"] under --fkf): an error line, not a fake
+          // inconclusive.
+          std::cout << svc::format_error_line(v.id, v.error) << "\n";
+          ++errors;
+        } else {
+          std::cout << svc::format_verdict_line(
+                           v, &requests[next_verdict].taskset)
+                    << "\n";
+          accepted += v.accepted ? 1 : 0;
+        }
         ++next_verdict;
-        accepted += v.accepted ? 1 : 0;
       }
       ++served;
     }
