@@ -57,7 +57,7 @@ int main() {
           analysis::OverheadModel model;
           model.cost_per_column = rho;
           const TaskSet inflated = analysis::inflate_for_overhead(*ts, model);
-          const bool accepted = fkf_engine.run(inflated, dev).accepted();
+          const bool accepted = fkf_engine.decide(inflated, dev).accepted();
           if (accepted) analysis_acc.fetch_add(1, std::memory_order_relaxed);
 
           sim::SimConfig cfg = benchx::figure_sim_config();

@@ -57,6 +57,48 @@ void BM_Gn2Test(benchmark::State& state) {
 }
 BENCHMARK(BM_Gn2Test)->RangeMultiplier(2)->Range(2, 64)->Complexity();
 
+// ---- SoA fast-path counterparts: one single-analyzer engine, decide()
+// through the kernels (includes the per-verdict scratch build — the honest
+// serving cost). Compare against BM_DpTest/BM_Gn1Test/BM_Gn2Test above;
+// BM_Gn2Fast's fitted complexity must stay below the reference's N^3.
+
+analysis::AnalysisEngine fast_engine(const char* test) {
+  return analysis::AnalysisEngine{analysis::fast_single_request(test)};
+}
+
+void BM_DpFast(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 11);
+  const Device dev{100};
+  const auto engine = fast_engine("dp");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpFast)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Gn1Fast(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 22);
+  const Device dev{100};
+  const auto engine = fast_engine("gn1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gn1Fast)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_Gn2Fast(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 33);
+  const Device dev{100};
+  const auto engine = fast_engine("gn2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(ts, dev).accepted());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Gn2Fast)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
 void BM_Gn2TestExact(benchmark::State& state) {
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 44);
   const Device dev{100};
@@ -76,8 +118,10 @@ void BM_CompositeTest(benchmark::State& state) {
 BENCHMARK(BM_CompositeTest)->Arg(4)->Arg(10)->Arg(32);
 
 // Same trio through a prebuilt AnalysisEngine with cheapest-first early
-// exit — the serving configuration. The gap to BM_CompositeTest is the
-// run-all + per-call engine construction overhead the shim pays.
+// exit — the serving configuration. fast_any_request() selects fast mode,
+// so this measures the SoA kernels through run()'s minimal-TestReport
+// path; the gap to BM_CompositeTest combines kernel-vs-reference-evaluator
+// cost with the shim's run-all + per-call engine construction overhead.
 void BM_EngineTrioEarlyExit(benchmark::State& state) {
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
   const Device dev{100};
@@ -99,6 +143,20 @@ void BM_EngineTrioRunAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineTrioRunAll)->Arg(4)->Arg(10)->Arg(32);
+
+// The allocation-free serving verdict: paper trio, SoA kernels, early exit
+// inside decide(). The gap to BM_EngineTrioEarlyExit (same kernels through
+// run()) is the minimal-TestReport/outcome-vector assembly run() still
+// pays in fast mode.
+void BM_EngineTrioDecide(benchmark::State& state) {
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
+  const Device dev{100};
+  const analysis::AnalysisEngine engine{analysis::fast_any_request()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_EngineTrioDecide)->Arg(4)->Arg(10)->Arg(32);
 
 void BM_SimulateNf(benchmark::State& state) {
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 66, 0.5);

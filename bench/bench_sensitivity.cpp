@@ -45,7 +45,7 @@ int main() {
       {"ANY",
        [engine = std::make_shared<analysis::AnalysisEngine>(
             analysis::fast_any_request())](const TaskSet& t, Device d) {
-         return engine->run(t, d).accepted();
+         return engine->decide(t, d).accepted();
        }},
       {"SIM-NF",
        [](const TaskSet& t, Device d) {

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
       {"ANY",
        [engine = std::make_shared<analysis::AnalysisEngine>(
             analysis::fast_any_request())](const TaskSet& t, Device d) {
-         return engine->run(t, d).accepted();
+         return engine->decide(t, d).accepted();
        }},
       {"PART",
        [](const TaskSet& t, Device d) {

@@ -92,7 +92,7 @@ int main() {
     analysis::OverheadModel model;
     model.cost_per_column = rho;
     const TaskSet inflated = analysis::inflate_for_overhead(ts, model);
-    const bool analysis_ok = any_engine.run(inflated, fpga).accepted();
+    const bool analysis_ok = any_engine.decide(inflated, fpga).accepted();
 
     sim::SimConfig ocfg;
     ocfg.reconfig_cost_per_column = rho;

@@ -17,20 +17,13 @@
 #include "analysis/options.hpp"
 #include "analysis/report.hpp"
 #include "common/types.hpp"
+#include "math/intdiv.hpp"
 #include "math/rational.hpp"
 #include "task/taskset.hpp"
 
 namespace reconf::analysis::detail {
 
-/// Floor division for possibly-negative numerators (C++ integer division
-/// truncates toward zero; the N_i window count needs mathematical floor).
-[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t num,
-                                               std::int64_t den) {
-  RECONF_EXPECTS(den > 0);
-  std::int64_t q = num / den;
-  if (num % den != 0 && num < 0) --q;
-  return q;
-}
+using math::floor_div;
 
 /// Rejects with a note when basic feasibility prerequisites fail. Every
 /// sufficient test must reject such tasksets; checking up front also lets
@@ -258,11 +251,21 @@ TestReport gn2_eval(const TaskSet& ts, Device device, const Gn2Options& opt) {
         diag.rhs = cond1 ? P::to_double(rhs1) : P::to_double(rhs2);
         break;
       }
-      // Keep the last failing comparison for diagnostics.
+      // Keep the last failing comparison for diagnostics — the *nearer*
+      // miss of the two conditions, so --explain shows the inequality the
+      // taskset almost satisfied instead of unconditionally condition 2.
       diag.lambda = lambda.to_double();
-      diag.condition = 0;
-      diag.lhs = P::to_double(lhs_unit);
-      diag.rhs = P::to_double(rhs2);
+      const Real miss1 = lhs_capped - rhs1;
+      const Real miss2 = lhs_unit - rhs2;
+      if (P::lt(miss1, miss2)) {
+        diag.condition = -1;
+        diag.lhs = P::to_double(lhs_capped);
+        diag.rhs = P::to_double(rhs1);
+      } else {
+        diag.condition = -2;
+        diag.lhs = P::to_double(lhs_unit);
+        diag.rhs = P::to_double(rhs2);
+      }
     }
 
     report.per_task.push_back(diag);

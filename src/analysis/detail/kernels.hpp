@@ -1,0 +1,61 @@
+#pragma once
+
+// Allocation-free fast-path kernels for Theorems 1–3 over an AnalysisScratch
+// (detail/scratch.hpp). These are the serving-path twins of the templated
+// reference evaluators in detail/evaluators.hpp:
+//
+//  * same branch decisions — formula selection (β_λ branches, λ-candidate
+//    filtering, feasibility) is taken with exact int64 rational comparisons,
+//    exactly like the reference;
+//  * same DoublePolicy comparison semantics (ε-guarded < and ≤);
+//  * no TestReport, no per-task vectors, no strings — the result is a
+//    16-byte FastVerdict and the only storage touched is the scratch.
+//
+// dp_fast and gn1_fast evaluate the identical floating-point expression
+// sequence as dp_eval/gn1_eval<DoublePolicy> (bit-identical verdicts by
+// construction). gn2_fast replaces the reference's O(n) inner sum per
+// (k, λ) with an incremental λ-sweep: tasks are walked in the exact global
+// C/T and min(C/D, C/T) orders, each task's β-branch changes at most twice,
+// and the min() caps against 1 and 1 − λ_k are tracked by per-k sorted
+// crossing events plus a β-heap — amortized O(1) per (k, λ), O(n² log n)
+// per verdict instead of O(n³). Its sums are regrouped (aggregate partial
+// sums instead of the reference's task-order accumulation), so individual
+// lhs values may differ from the reference by O(1e-13) rounding; the
+// ε-tolerant comparisons absorb this, and the fastpath parity suite checks
+// verdict identity over the generated corpus.
+
+#include <cstddef>
+#include <span>
+
+#include "analysis/detail/scratch.hpp"
+#include "analysis/options.hpp"
+#include "analysis/report.hpp"
+#include "common/types.hpp"
+
+namespace reconf::analysis::detail {
+
+/// Per-task GN2 witness for parity testing: the first λ candidate and
+/// condition (1 or 2) that satisfied Theorem 3 for τ_k.
+struct Gn2Choice {
+  bool pass = false;
+  double lambda = 0.0;
+  int condition = 0;
+};
+
+/// Theorem 1 over the scratch. Bit-identical to dp_eval<DoublePolicy>.
+[[nodiscard]] FastVerdict dp_fast(const AnalysisScratch& s, Device device,
+                                  const DpOptions& opt);
+
+/// Theorem 2 over the scratch. Bit-identical to gn1_eval<DoublePolicy>.
+[[nodiscard]] FastVerdict gn1_fast(const AnalysisScratch& s, Device device,
+                                   const Gn1Options& opt);
+
+/// Theorem 3 as the incremental λ-sweep. When `choices` is non-empty it
+/// must have size n; every task is then evaluated (no early exit) and its
+/// witness recorded — the parity suite's hook. An empty span is the serving
+/// path: returns at the first failing task.
+[[nodiscard]] FastVerdict gn2_fast(AnalysisScratch& s, Device device,
+                                   const Gn2Options& opt,
+                                   std::span<Gn2Choice> choices = {});
+
+}  // namespace reconf::analysis::detail

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/detail/kernels.hpp"
+#include "analysis/detail/scratch.hpp"
 #include "analysis/dp.hpp"
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
@@ -46,6 +48,12 @@ class DpAnalyzer final : public Analyzer {
                  const AnalyzerConfig& config) const override {
     return dp_test(ts, device, config.dp);
   }
+  bool has_fast_path() const noexcept override { return true; }
+  FastVerdict run_fast(detail::AnalysisScratch& scratch, const TaskSet&,
+                       Device device,
+                       const AnalyzerConfig& config) const override {
+    return detail::dp_fast(scratch, device, config.dp);
+  }
   std::uint64_t options_fingerprint(
       const AnalyzerConfig& config) const noexcept override {
     std::uint64_t h = mix64(id_hash(id()));
@@ -72,6 +80,12 @@ class Gn1Analyzer final : public Analyzer {
                  const AnalyzerConfig& config) const override {
     return gn1_test(ts, device, config.gn1);
   }
+  bool has_fast_path() const noexcept override { return true; }
+  FastVerdict run_fast(detail::AnalysisScratch& scratch, const TaskSet&,
+                       Device device,
+                       const AnalyzerConfig& config) const override {
+    return detail::gn1_fast(scratch, device, config.gn1);
+  }
   std::uint64_t options_fingerprint(
       const AnalyzerConfig& config) const noexcept override {
     std::uint64_t h = mix64(id_hash(id()));
@@ -97,6 +111,12 @@ class Gn2Analyzer final : public Analyzer {
   TestReport run(const TaskSet& ts, Device device,
                  const AnalyzerConfig& config) const override {
     return gn2_test(ts, device, config.gn2);
+  }
+  bool has_fast_path() const noexcept override { return true; }
+  FastVerdict run_fast(detail::AnalysisScratch& scratch, const TaskSet&,
+                       Device device,
+                       const AnalyzerConfig& config) const override {
+    return detail::gn2_fast(scratch, device, config.gn2);
   }
   std::uint64_t options_fingerprint(
       const AnalyzerConfig& config) const noexcept override {
@@ -285,10 +305,32 @@ std::uint64_t Analyzer::options_fingerprint(
   return 0;
 }
 
+FastVerdict Analyzer::run_fast(detail::AnalysisScratch&, const TaskSet& ts,
+                               Device device,
+                               const AnalyzerConfig& config) const {
+  // Adapter for analyzers without a dedicated kernel: evaluate the full
+  // report (allocates) and keep the summary.
+  const TestReport report = run(ts, device, config);
+  FastVerdict out;
+  out.verdict = report.verdict;
+  if (report.first_failing_task.has_value()) {
+    out.first_failing_task =
+        static_cast<std::ptrdiff_t>(*report.first_failing_task);
+  }
+  return out;
+}
+
 AnalysisRequest fast_any_request() {
   AnalysisRequest request;
   request.early_exit = true;
   request.measure = false;
+  request.diagnostics = false;
+  return request;
+}
+
+AnalysisRequest fast_single_request(std::string test) {
+  AnalysisRequest request = fast_any_request();
+  request.tests = {std::move(test)};
   return request;
 }
 
@@ -380,6 +422,30 @@ AnalysisEngine::AnalysisEngine(AnalysisRequest request,
 AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
   AnalysisReport out;
   out.outcomes.reserve(analyzers_.size());
+
+  // Fast mode shares one SoA scratch (bound lazily, at most once) across
+  // every fast-capable analyzer of this run.
+  detail::AnalysisScratch* scratch = nullptr;
+  const auto evaluate = [&](const Analyzer& analyzer) {
+    if (request_.diagnostics || !analyzer.has_fast_path()) {
+      return analyzer.run(ts, device, request_.config);
+    }
+    if (scratch == nullptr) {
+      scratch = &detail::thread_scratch();
+      scratch->build(ts);
+    }
+    const FastVerdict v =
+        analyzer.run_fast(*scratch, ts, device, request_.config);
+    TestReport minimal;
+    minimal.test_name = analyzer.id();
+    minimal.verdict = v.verdict;
+    if (v.first_failing_task >= 0) {
+      minimal.first_failing_task = static_cast<std::size_t>(
+          v.first_failing_task);
+    }
+    return minimal;
+  };
+
   bool decided = false;
   for (std::size_t i = 0; i < analyzers_.size(); ++i) {
     const Analyzer& analyzer = *analyzers_[i];
@@ -392,10 +458,10 @@ AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
 
     if (request_.measure) {
       Stopwatch watch;
-      outcome.report = analyzer.run(ts, device, request_.config);
+      outcome.report = evaluate(analyzer);
       outcome.seconds = watch.seconds();
     } else {
-      outcome.report = analyzer.run(ts, device, request_.config);
+      outcome.report = evaluate(analyzer);
     }
     outcome.ran = true;
 
@@ -413,6 +479,47 @@ AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
       decided = request_.early_exit;
     }
     out.outcomes.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+Decision AnalysisEngine::decide(const TaskSet& ts, Device device) const {
+  Decision out;
+  if (analyzers_.empty()) return out;
+
+  detail::AnalysisScratch& scratch = detail::thread_scratch();
+  scratch.build(ts);
+
+  for (std::size_t i = 0; i < analyzers_.size(); ++i) {
+    const Analyzer& analyzer = *analyzers_[i];
+    FastVerdict v;
+    double seconds = 0.0;
+    if (request_.measure) {
+      Stopwatch watch;
+      v = analyzer.run_fast(scratch, ts, device, request_.config);
+      seconds = watch.seconds();
+    } else {
+      v = analyzer.run_fast(scratch, ts, device, request_.config);
+    }
+
+    StatsCell& cell = stats_[i];
+    cell.runs.fetch_add(1, std::memory_order_relaxed);
+    if (v.verdict == Verdict::kSchedulable) {
+      cell.accepts.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (request_.measure) {
+      cell.nanos.fetch_add(
+          static_cast<std::uint64_t>(std::llround(seconds * 1e9)),
+          std::memory_order_relaxed);
+    }
+
+    if (v.verdict == Verdict::kSchedulable) {
+      // First acceptance decides the union verdict; the tail cannot change
+      // it, so decide() always early-exits.
+      out.verdict = Verdict::kSchedulable;
+      out.accepted_by = analyzer.id();
+      return out;
+    }
   }
   return out;
 }

@@ -18,6 +18,10 @@
 
 namespace reconf::analysis {
 
+namespace detail {
+struct AnalysisScratch;
+}  // namespace detail
+
 class AnalyzerRegistry;
 
 /// Schedulers a verdict can be claimed for. Soundness is per scheduler: a
@@ -117,6 +121,21 @@ class Analyzer {
   /// verdicts. Default: 0 (no options).
   [[nodiscard]] virtual std::uint64_t options_fingerprint(
       const AnalyzerConfig& config) const noexcept;
+
+  /// True when run_fast answers through an allocation-free SoA kernel
+  /// instead of the default adapter (which runs run() and summarizes).
+  [[nodiscard]] virtual bool has_fast_path() const noexcept { return false; }
+
+  /// Fast evaluation: verdict + first failing task, no diagnostics.
+  /// `scratch` must already be bound to `ts` (AnalysisScratch::build); the
+  /// engine binds its thread-local arena once per verdict and shares it
+  /// across analyzers. Must agree with run() on verdict and
+  /// first_failing_task for every input (the fastpath parity suite enforces
+  /// this for the built-in kernels). Default: adapts run(), allocating.
+  [[nodiscard]] virtual FastVerdict run_fast(detail::AnalysisScratch& scratch,
+                                             const TaskSet& ts, Device device,
+                                             const AnalyzerConfig& config)
+      const;
 };
 
 /// Thrown when a requested analyzer id is not registered. The message lists
@@ -157,12 +176,51 @@ struct AnalysisRequest {
   /// Record per-analyzer wall time. Off for tight sweep loops where two
   /// clock reads per linear-time test would show up in the profile.
   bool measure = true;
+
+  /// Full per-task diagnostics (default). When false — fast mode — every
+  /// analyzer with a fast path answers through the allocation-free SoA
+  /// kernels: run() synthesizes minimal TestReports (verdict and
+  /// first_failing_task only; test_name is the registry id, per_task and
+  /// note stay empty) and decide() allocates nothing at all.
+  ///
+  /// Verdict contract across modes: every branch decision and λ filter is
+  /// taken with the same exact rational comparisons in both paths; the GN2
+  /// kernel regroups the floating-point sums (aggregate partial sums
+  /// instead of task-order accumulation), a ~1e-13 perturbation that the
+  /// ε-guarded DoublePolicy comparisons absorb — a flip would need an
+  /// input tuned to within ~1e-13 of the 1e-9 guard band, where accepting
+  /// and rejecting are both sound readings of the theorem's strict
+  /// inequality. The fastpath parity suite enforces identical verdict,
+  /// accepted_by, first_failing_task and GN2 λ/condition across a
+  /// randomized corpus. Like early_exit and measure, this knob is
+  /// excluded from the fingerprint and cached verdicts are shared across
+  /// modes.
+  bool diagnostics = true;
 };
 
 /// The serving configuration: paper trio, cheapest-first early exit, no
-/// timing. What every accepted()-only hot path (sweeps, width scans, the
-/// batch default) wants.
+/// timing, no diagnostics (SoA fast path). What every accepted()-only hot
+/// path (sweeps, width scans, the batch default) wants.
 [[nodiscard]] AnalysisRequest fast_any_request();
+
+/// A single-analyzer spelling of the same fast configuration — one test id,
+/// no timing, no diagnostics. The shape the perf benches (bench_perf,
+/// bench_report) measure each kernel through, shared so both always
+/// benchmark the identical request.
+[[nodiscard]] AnalysisRequest fast_single_request(std::string test);
+
+/// Allocation-free result of AnalysisEngine::decide — the union verdict and
+/// which analyzer decided it. `accepted_by` points at the accepting
+/// analyzer's static id (empty when not accepted) and stays valid for the
+/// registry's lifetime.
+struct Decision {
+  Verdict verdict = Verdict::kInconclusive;
+  std::string_view accepted_by;
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return verdict == Verdict::kSchedulable;
+  }
+};
 
 /// Per-analyzer slice of one engine run, in execution order.
 struct AnalyzerOutcome {
@@ -214,8 +272,18 @@ class AnalysisEngine {
 
   /// Runs the selected analyzers in execution order. Verdict and
   /// accepted_by depend only on (taskset, device, fingerprint()) — never on
-  /// early_exit, measure, or thread interleaving.
+  /// early_exit, measure, diagnostics, or thread interleaving.
   [[nodiscard]] AnalysisReport run(const TaskSet& ts, Device device) const;
+
+  /// The verdict-only hot path: evaluates analyzers in execution order via
+  /// their fast paths over a thread-local SoA scratch, stopping at the
+  /// first acceptance (always — the union verdict cannot change). Returns
+  /// the same verdict and accepting analyzer as run() for every input, with
+  /// zero heap allocation per call once the calling thread's arena is warm
+  /// (analyzers without a fast path fall back to run() internally and do
+  /// allocate). Stats accumulate as for run() with early_exit — analyzers
+  /// skipped after the deciding acceptance are not counted as runs.
+  [[nodiscard]] Decision decide(const TaskSet& ts, Device device) const;
 
   /// Fingerprint of the resolved configuration: the ordered analyzer ids
   /// and each analyzer's options fingerprint. Two engines with equal

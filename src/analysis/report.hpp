@@ -24,7 +24,20 @@ struct TaskDiagnostic {
   double lhs = std::numeric_limits<double>::quiet_NaN();
   double rhs = std::numeric_limits<double>::quiet_NaN();
   double lambda = std::numeric_limits<double>::quiet_NaN();
-  int condition = 0;  ///< GN2: 1 or 2 for the satisfied condition; else 0.
+  /// GN2: 1 or 2 for the satisfied condition. On failure, −1 or −2 names
+  /// the condition whose recorded lhs/rhs was the nearer miss at the last
+  /// candidate λ. 0 everywhere else (non-GN2 tests, feasibility rejects).
+  int condition = 0;
+};
+
+/// Verdict summary of one fast-path (SoA kernel) analyzer run: everything
+/// the serving path needs, nothing that allocates. Produced by
+/// Analyzer::run_fast and the detail/kernels.hpp kernels.
+struct FastVerdict {
+  Verdict verdict = Verdict::kInconclusive;
+  /// First task failing the test (or the feasibility pre-check), −1 when
+  /// none — matches TestReport::first_failing_task.
+  std::ptrdiff_t first_failing_task = -1;
 };
 
 struct TestReport {

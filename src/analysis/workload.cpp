@@ -3,16 +3,13 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "math/intdiv.hpp"
 
 namespace reconf::analysis {
 
 namespace {
 
-constexpr std::int64_t floor_div(std::int64_t num, std::int64_t den) {
-  std::int64_t q = num / den;
-  if (num % den != 0 && num < 0) --q;
-  return q;
-}
+using math::floor_div;
 
 /// Overlap of [a1, a2) with [b1, b2).
 constexpr Ticks overlap(Ticks a1, Ticks a2, Ticks b1, Ticks b2) {
@@ -74,12 +71,51 @@ Ticks measured_interfering_work(const sim::Trace& trace, const TaskSet& ts,
   return total;
 }
 
+TaskSegmentIndex::TaskSegmentIndex(const sim::Trace& trace,
+                                   std::size_t num_tasks)
+    : by_task_(num_tasks) {
+  for (const sim::TraceSegment& s : trace.segments()) {
+    if (s.reconfiguring || s.task_index >= num_tasks) continue;
+    by_task_[s.task_index].push_back({s.begin, s.end});
+  }
+  // The simulator emits segments chronologically, so each per-task list is
+  // already begin-sorted; sort defensively anyway (cheap when sorted) — the
+  // window query's binary search depends on it.
+  for (auto& spans : by_task_) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  }
+}
+
+Ticks TaskSegmentIndex::time_work(std::size_t task_index, Ticks begin,
+                                  Ticks end) const {
+  RECONF_EXPECTS(task_index < by_task_.size());
+  RECONF_EXPECTS(begin <= end);
+  const std::vector<Span>& spans = by_task_[task_index];
+  // First span that can overlap: segments are begin-sorted and maximal, so
+  // everything before the first with end > begin is fully left of the
+  // window.
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), begin,
+      [](Ticks b, const Span& s) { return b < s.end; });
+  Ticks total = 0;
+  for (; it != spans.end() && it->begin < end; ++it) {
+    total += overlap(it->begin, it->end, begin, end);
+  }
+  return total;
+}
+
 std::vector<InterferenceSample> interference_profile(const sim::Trace& trace,
                                                      const TaskSet& ts,
                                                      std::size_t task_k,
                                                      Ticks horizon) {
   RECONF_EXPECTS(task_k < ts.size());
   const Task& tk = ts[task_k];
+
+  // One pass over the trace builds the per-task index; each window query
+  // then walks only the segments of the queried task that overlap the
+  // window, instead of rescanning the whole trace per (job, task) pair.
+  const TaskSegmentIndex index(trace, ts.size());
 
   std::vector<InterferenceSample> out;
   for (Ticks release = 0, seq = 0; release + tk.deadline <= horizon;
@@ -90,8 +126,8 @@ std::vector<InterferenceSample> interference_profile(const sim::Trace& trace,
     sample.window_end = release + tk.deadline;
     sample.time_work_by_task.reserve(ts.size());
     for (std::size_t i = 0; i < ts.size(); ++i) {
-      sample.time_work_by_task.push_back(measured_time_work(
-          trace, i, sample.window_begin, sample.window_end));
+      sample.time_work_by_task.push_back(
+          index.time_work(i, sample.window_begin, sample.window_end));
     }
     out.push_back(std::move(sample));
   }

@@ -35,13 +35,23 @@ BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
     }
   }
 
-  const auto report = engine.run(request.taskset, request.device);
-  out.accepted = report.accepted();
-  out.accepted_by = report.accepted_by();
-  out.sub.reserve(report.outcomes.size());
-  for (const analysis::AnalyzerOutcome& o : report.outcomes) {
-    out.sub.push_back(
-        {o.id, o.ran, o.ran && o.report.accepted(), o.seconds * 1e6});
+  if (!engine.request().diagnostics) {
+    // Serving default: the allocation-free SoA fast path. No sub-verdicts —
+    // decide() early-exits inside the kernels and produces nothing to
+    // report beyond the union verdict (identical to run()'s by contract).
+    const analysis::Decision decision =
+        engine.decide(request.taskset, request.device);
+    out.accepted = decision.accepted();
+    out.accepted_by = std::string(decision.accepted_by);
+  } else {
+    const auto report = engine.run(request.taskset, request.device);
+    out.accepted = report.accepted();
+    out.accepted_by = report.accepted_by();
+    out.sub.reserve(report.outcomes.size());
+    for (const analysis::AnalyzerOutcome& o : report.outcomes) {
+      out.sub.push_back(
+          {o.id, o.ran, o.ran && o.report.accepted(), o.seconds * 1e6});
+    }
   }
   if (cache != nullptr) {
     cache->insert(out.hash, CachedVerdict{out.accepted, out.accepted_by});

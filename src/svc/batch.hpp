@@ -53,7 +53,9 @@ struct BatchVerdict {
   std::uint64_t hash = 0;
   bool cache_hit = false;
   /// Per-analyzer outcomes; populated only when freshly analyzed (a cache
-  /// hit stores just the CachedVerdict summary).
+  /// hit stores just the CachedVerdict summary) AND the pipeline runs in
+  /// diagnostics mode (BatchOptions::request.diagnostics) — the fast-path
+  /// serving default decides through the SoA kernels and reports none.
   std::vector<SubVerdict> sub;
   /// Non-empty when the request could not be analyzed at all — e.g. its
   /// analyzer selection filtered down to nothing under the pipeline's
@@ -64,11 +66,26 @@ struct BatchVerdict {
 
 /// Pipeline-wide analysis configuration: one AnalysisRequest shared by all
 /// requests that don't name their own tests. Serving default: the paper
-/// trio with cheapest-first early exit (the union verdict is decided by the
-/// first acceptance, so the O(N³) test only runs when the cheap ones fail)
-/// and timing on — it feeds the NDJSON "sub" array.
+/// trio through the allocation-free SoA fast path (diagnostics off) with
+/// cheapest-first early exit — the union verdict is decided by the first
+/// acceptance, so the O(N³) test only runs when the cheap ones fail, and no
+/// per-task reports or timings are materialized. Set
+/// `request.diagnostics = true` (reconf_serve --explain) to evaluate
+/// through the full reference evaluators and populate the NDJSON "sub"
+/// array with per-analyzer sub-verdicts and timings; verdicts are identical
+/// in both modes, so cached entries are shared.
 struct BatchOptions {
   [[nodiscard]] static analysis::AnalysisRequest default_request() {
+    analysis::AnalysisRequest request;
+    request.early_exit = true;
+    request.measure = false;
+    request.diagnostics = false;
+    return request;
+  }
+
+  /// The diagnostic spelling of the serving default: full reference
+  /// evaluators, per-analyzer timings, sub-verdicts.
+  [[nodiscard]] static analysis::AnalysisRequest explain_request() {
     analysis::AnalysisRequest request;
     request.early_exit = true;
     return request;

@@ -38,13 +38,20 @@ AdmissionDecision AdmissionSession::try_admit(const Task& t) {
     }
   }
   if (!out.cache_hit) {
-    auto report = engine_.run(trial, device_);
-    out.admitted = report.accepted();
-    out.accepted_by = report.accepted_by();
+    if (!engine_.request().diagnostics) {
+      // Fast mode: decide through the SoA kernels; no AnalysisReport.
+      const analysis::Decision decision = engine_.decide(trial, device_);
+      out.admitted = decision.accepted();
+      out.accepted_by = std::string(decision.accepted_by);
+    } else {
+      auto report = engine_.run(trial, device_);
+      out.admitted = report.accepted();
+      out.accepted_by = report.accepted_by();
+      out.report = std::move(report);
+    }
     if (cache_ != nullptr) {
       cache_->insert(out.hash, CachedVerdict{out.admitted, out.accepted_by});
     }
-    out.report = std::move(report);
   }
 
   if (out.admitted) {

@@ -26,7 +26,10 @@ struct AdmissionDecision {
   /// rejected.
   std::string accepted_by;
   /// Full per-analyzer diagnostics; only present when the verdict was
-  /// freshly computed (a cache hit stores just the CachedVerdict summary).
+  /// freshly computed (a cache hit stores just the CachedVerdict summary)
+  /// and the session's request has diagnostics on (the default — a session
+  /// built from fast_any_request() decides through the SoA kernels and
+  /// leaves this empty).
   std::optional<analysis::AnalysisReport> report;
 };
 

@@ -324,6 +324,7 @@ TEST(EngineFingerprint, CoversAnalyzerSetAndOptions) {
   AnalysisRequest eager = trio;
   eager.early_exit = true;
   eager.measure = false;
+  eager.diagnostics = false;  // SoA fast path: same verdicts by contract
   EXPECT_EQ(fp(trio), fp(eager));
 }
 

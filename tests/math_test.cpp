@@ -7,11 +7,35 @@
 
 #include "math/checked.hpp"
 #include "math/gcd_lcm.hpp"
+#include "math/intdiv.hpp"
 #include "math/rational.hpp"
 #include "math/stats.hpp"
 
 namespace reconf::math {
 namespace {
+
+TEST(IntDiv, FloorDivMatchesTruncationForNonNegative) {
+  EXPECT_EQ(floor_div(0, 3), 0);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(7, 3), 2);
+  EXPECT_EQ(floor_div(1, 700), 0);
+}
+
+TEST(IntDiv, FloorDivRoundsNegativeNumeratorsDown) {
+  // The N_i window count ⌊(D_k − D_i)/T_i⌋ hits these when D_k < D_i:
+  // truncation would give 0, mathematical floor must give −1.
+  EXPECT_EQ(floor_div(-1, 3), -1);
+  EXPECT_EQ(floor_div(-3, 3), -1);
+  EXPECT_EQ(floor_div(-4, 3), -2);
+  EXPECT_EQ(floor_div(-699, 700), -1);
+  EXPECT_EQ(floor_div(-700, 700), -1);
+  EXPECT_EQ(floor_div(-701, 700), -2);
+}
+
+TEST(IntDiv, FloorDivIsConstexpr) {
+  static_assert(floor_div(-1, 2) == -1);
+  static_assert(floor_div(5, 2) == 2);
+}
 
 TEST(Checked, AddDetectsOverflow) {
   EXPECT_EQ(checked_add(2, 3), 5);

@@ -316,8 +316,10 @@ TEST(BatchPipeline, PerRequestTestsOverrideThePipelineDefault) {
   dp_only.tests = {"dp"};
 
   svc::VerdictCache cache(64);
-  const auto a = svc::evaluate_request(full, &cache, {});
-  const auto b = svc::evaluate_request(dp_only, &cache, {});
+  svc::BatchOptions explain;
+  explain.request = svc::BatchOptions::explain_request();
+  const auto a = svc::evaluate_request(full, &cache, explain);
+  const auto b = svc::evaluate_request(dp_only, &cache, explain);
   EXPECT_NE(a.hash, b.hash)
       << "a {dp}-only verdict must never share a cache line with the trio";
   EXPECT_FALSE(b.cache_hit);
@@ -327,9 +329,16 @@ TEST(BatchPipeline, PerRequestTestsOverrideThePipelineDefault) {
   EXPECT_EQ(b.sub[0].test, "dp");
 
   // Same override again: cache hit on the {dp} line.
-  const auto c = svc::evaluate_request(dp_only, &cache, {});
+  const auto c = svc::evaluate_request(dp_only, &cache, explain);
   EXPECT_TRUE(c.cache_hit);
   EXPECT_EQ(c.accepted, b.accepted);
+
+  // The fast-path default shares those cache lines: identical verdicts, so
+  // a diagnostics-mode entry answers a fast-mode request and vice versa.
+  const auto d = svc::evaluate_request(dp_only, &cache, {});
+  EXPECT_TRUE(d.cache_hit);
+  EXPECT_EQ(d.hash, b.hash);
+  EXPECT_EQ(d.accepted, b.accepted);
 }
 
 TEST(BatchPipeline, SelectionEmptiedByFilterYieldsErrorNotInconclusive) {
@@ -356,13 +365,15 @@ TEST(BatchPipeline, SelectionEmptiedByFilterYieldsErrorNotInconclusive) {
   EXPECT_FALSE(batch[0].error.empty());
 }
 
-TEST(BatchPipeline, FreshVerdictsCarrySubReportsInExecutionOrder) {
+TEST(BatchPipeline, ExplainModeCarriesSubReportsInExecutionOrder) {
   svc::BatchRequest request;
   request.id = "s";
   request.taskset = table3_taskset();
   request.device = Device{20};
 
-  const auto verdict = svc::evaluate_request(request, nullptr, {});
+  svc::BatchOptions explain;
+  explain.request = svc::BatchOptions::explain_request();
+  const auto verdict = svc::evaluate_request(request, nullptr, explain);
   ASSERT_EQ(verdict.sub.size(), 3u);
   EXPECT_EQ(verdict.sub[0].test, "dp");   // cheapest first
   EXPECT_EQ(verdict.sub[1].test, "gn1");
@@ -372,6 +383,26 @@ TEST(BatchPipeline, FreshVerdictsCarrySubReportsInExecutionOrder) {
                                    : verdict.sub[1].accepted ? "gn1"
                                                              : "gn2");
   }
+}
+
+TEST(BatchPipeline, FastDefaultMatchesExplainVerdictsWithoutSubReports) {
+  // The serving default decides through the SoA fast path: no sub array,
+  // but verdict, accepted_by and cache key identical to diagnostics mode.
+  svc::BatchRequest request;
+  request.id = "f";
+  request.taskset = table3_taskset();
+  request.device = Device{20};
+
+  const auto fast = svc::evaluate_request(request, nullptr, {});
+  EXPECT_TRUE(fast.sub.empty());
+
+  svc::BatchOptions explain;
+  explain.request = svc::BatchOptions::explain_request();
+  const auto full = svc::evaluate_request(request, nullptr, explain);
+  EXPECT_EQ(fast.accepted, full.accepted);
+  EXPECT_EQ(fast.accepted_by, full.accepted_by);
+  EXPECT_EQ(fast.hash, full.hash)
+      << "diagnostics must not change the cache key";
 }
 
 TEST(AdmissionSession, SharedCacheServesSecondSession) {

@@ -94,6 +94,39 @@ TEST(WorkMeasurement, InterferenceProfileCoversEveryJobWindow) {
   }
 }
 
+TEST(WorkMeasurement, SegmentIndexMatchesFullTraceScan) {
+  // The per-task index interference_profile now queries must agree with the
+  // O(segments) reference scan on every (task, window) pair, including
+  // windows straddling segment boundaries and empty windows.
+  gen::GenRequest req;
+  req.profile = gen::GenProfile::unconstrained(5);
+  req.target_system_util = 80.0;
+  req.seed = 0x5E63;
+  const auto ts = gen::generate_with_retries(req);
+  ASSERT_TRUE(ts.has_value());
+
+  sim::SimConfig cfg;
+  cfg.record_trace = true;
+  cfg.horizon_periods = 20;
+  cfg.stop_on_first_miss = false;
+  const auto run = sim::simulate(*ts, Device{100}, cfg);
+  ASSERT_FALSE(run.trace.empty());
+
+  const TaskSegmentIndex index(run.trace, ts->size());
+  EXPECT_EQ(index.num_tasks(), ts->size());
+  const Ticks step = std::max<Ticks>(run.horizon / 37, 1);
+  for (std::size_t i = 0; i < ts->size(); ++i) {
+    for (Ticks begin = 0; begin < run.horizon; begin += step) {
+      for (const Ticks len : {Ticks{0}, step / 2, 3 * step}) {
+        const Ticks end = begin + len;
+        EXPECT_EQ(index.time_work(i, begin, end),
+                  measured_time_work(run.trace, i, begin, end))
+            << "task " << i << " window [" << begin << ", " << end << ")";
+      }
+    }
+  }
+}
+
 // ------------------------------------------------ Lemma 4 at trace level --
 struct Lemma4Case {
   std::uint64_t seed;

@@ -270,7 +270,7 @@ int cmd_width(const std::vector<std::string>& args) {
        }},
       {"ANY", [engine = std::make_shared<analysis::AnalysisEngine>(
                    analysis::fast_any_request())](const TaskSet& t, Device d) {
-         return engine->run(t, d).accepted();
+         return engine->decide(t, d).accepted();
        }},
       {"PART", [](const TaskSet& t, Device d) {
          return partition::partitioned_schedulable(t, d);

@@ -5,7 +5,7 @@
 //
 //   reconf_serve [<requests.ndjson>] [--threads=N] [--batch=N]
 //                [--cache-capacity=N] [--no-cache] [--shards=N]
-//                [--tests=LIST] [--fkf] [--stats]
+//                [--tests=LIST] [--fkf] [--explain] [--stats]
 //
 //   --threads=N         worker threads for the batch pipeline (0 = cores)
 //   --batch=N           requests evaluated per pipeline wave (default 256;
@@ -18,6 +18,12 @@
 //                       override it. Unknown ids abort with the registered
 //                       list.
 //   --fkf               keep only the EDF-FkF-sound analyzers (drops GN1)
+//   --explain           full diagnostics: evaluate through the reference
+//                       evaluators and attach the per-analyzer "sub" array
+//                       (sub-verdicts + timings) to every fresh response.
+//                       Default is the allocation-free SoA fast path, which
+//                       answers the verdict only — identical verdicts, ~an
+//                       order of magnitude more throughput on misses
 //   --stats             print throughput and cache statistics to stderr
 //
 // Request/response format: see src/svc/codec.hpp. Malformed lines produce
@@ -52,7 +58,8 @@ int usage() {
                "[--batch=N]\n"
                "                    [--cache-capacity=N] [--no-cache] "
                "[--shards=N]\n"
-               "                    [--tests=LIST] [--fkf] [--stats]\n"
+               "                    [--tests=LIST] [--fkf] [--explain] "
+               "[--stats]\n"
                "see the header of tools/reconf_serve.cpp for details\n");
   return 2;
 }
@@ -140,7 +147,8 @@ int main(int argc, char** argv) {
       static const char* known[] = {"--threads=",        "--batch=",
                                     "--cache-capacity=", "--shards=",
                                     "--tests=",          "--no-cache",
-                                    "--fkf",             "--stats"};
+                                    "--fkf",             "--stats",
+                                    "--explain"};
       bool ok = false;
       for (const char* k : known) {
         const std::string key = k;
@@ -200,6 +208,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+  }
+  if (has_flag(args, "explain")) {
+    // Diagnostics mode: evaluate through the full reference evaluators and
+    // carry per-analyzer sub-verdicts + timings in every fresh response.
+    // The default decides through the allocation-free SoA fast path.
+    options.request.diagnostics = true;
+    options.request.measure = true;
   }
   if (has_flag(args, "fkf")) {
     options.request.scheduler = analysis::Scheduler::kEdfFkF;
