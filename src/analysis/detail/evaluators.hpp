@@ -61,6 +61,7 @@ TestReport dp_eval(const TaskSet& ts, Device device, const DpOptions& opt) {
 
   if (opt.require_implicit_deadlines && !ts.all_implicit_deadline()) {
     report.note = "DP requires implicit deadlines (D = T)";
+    report.refused = true;
     return report;
   }
 
@@ -110,6 +111,16 @@ TestReport gn1_eval(const TaskSet& ts, Device device, const Gn1Options& opt) {
   TestReport report;
   report.test_name = "GN1";
   if (reject_infeasible(ts, device, report)) return report;
+
+  // Theorem 2 descends from BCL's constrained-deadline interference bound:
+  // the W̄_i window arithmetic under-counts interference once D_i > T_i.
+  // Found by the differential oracle (heavy_tail_arbitrary family): without
+  // this gate GN1 accepts arbitrary-deadline sets the simulator refutes.
+  if (!ts.all_constrained_deadline()) {
+    report.note = "GN1 requires constrained deadlines (D <= T)";
+    report.refused = true;
+    return report;
+  }
 
   report.verdict = Verdict::kSchedulable;
   for (std::size_t k = 0; k < ts.size(); ++k) {

@@ -79,6 +79,9 @@ FastVerdict gn1_fast(const AnalysisScratch& s, Device device,
     out.first_failing_task = bad;
     return out;
   }
+  // Mirrors the reference evaluator's constrained-deadline gate (BCL's
+  // window bound is unsound for D > T); parity demands identical refusals.
+  if (!s.all_constrained) return out;
 
   const bool plus_one = opt.rhs == Gn1Options::Rhs::kLemma3PlusOne;
   const bool denom_di =

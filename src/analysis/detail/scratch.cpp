@@ -9,6 +9,7 @@ void AnalysisScratch::build(const TaskSet& ts) {
   max_area = ts.max_area();
   min_area = ts.min_area();
   all_implicit = ts.all_implicit_deadline();
+  all_constrained = ts.all_constrained_deadline();
   gn2_ready = false;
 
   wcet.resize(n);

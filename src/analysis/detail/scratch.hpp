@@ -33,6 +33,7 @@ struct AnalysisScratch {
   Area max_area = 0;
   Area min_area = 0;
   bool all_implicit = true;
+  bool all_constrained = true;
   std::vector<Ticks> wcet;
   std::vector<Ticks> deadline;
   std::vector<Ticks> period;

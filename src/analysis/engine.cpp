@@ -149,6 +149,7 @@ class MpAnalyzer : public Analyzer {
         refused.note =
             "requires unit-area tasks (multiprocessor cross-check; use "
             "mp::as_unit_area to coerce)";
+        refused.refused = true;
         return refused;
       }
     }

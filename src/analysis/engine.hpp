@@ -297,6 +297,15 @@ class AnalysisEngine {
   /// Selected analyzer ids in execution order (post filter, post sort).
   [[nodiscard]] std::vector<std::string> execution_order() const;
 
+  /// The resolved analyzer at position `i` of the execution order — the
+  /// differential oracle iterates these to pair each AnalyzerOutcome with
+  /// the capability metadata its adjudication depends on. Valid for the
+  /// backing registry's lifetime.
+  [[nodiscard]] const Analyzer& analyzer_at(std::size_t i) const {
+    RECONF_EXPECTS(i < analyzers_.size());
+    return *analyzers_[i];
+  }
+
   [[nodiscard]] const AnalysisRequest& request() const noexcept {
     return request_;
   }

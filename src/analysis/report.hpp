@@ -46,6 +46,11 @@ struct TestReport {
   std::vector<TaskDiagnostic> per_task;
   std::optional<std::size_t> first_failing_task;
   std::string note;  ///< set when rejected before evaluation (feasibility…)
+  /// The test declined to evaluate because the input is outside its claimed
+  /// model (wrong deadline class, non-unit areas…). Distinct from a failed
+  /// evaluation: the differential oracle excludes refusals — and only
+  /// refusals — from the pessimism ledger. `note` says why.
+  bool refused = false;
 
   [[nodiscard]] bool accepted() const noexcept {
     return verdict == Verdict::kSchedulable;

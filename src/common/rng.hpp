@@ -36,15 +36,19 @@ class SplitMix64 {
 /// Implemented here (rather than std::mt19937_64 + std distributions)
 /// because the standard distributions are not bit-reproducible across
 /// standard libraries, and reproducibility of the synthetic tasksets is a
-/// requirement for the experiment harness.
+/// requirement for the experiment harness and the fuzz oracle (a seed
+/// printed by a CI failure must replay the identical taskset locally).
+/// Fully constexpr so golden values are pinned at compile time
+/// (tests/rng_golden_test.cpp); every draw is integer or IEEE-754
+/// double arithmetic with no platform-dependent library calls.
 class Xoshiro256ss {
  public:
-  explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept {
     SplitMix64 mix(seed);
     for (auto& s : state_) s = mix.next();
   }
 
-  std::uint64_t next() noexcept {
+  constexpr std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -57,17 +61,17 @@ class Xoshiro256ss {
   }
 
   /// Uniform double in [0, 1) with 53 random bits.
-  double uniform01() noexcept {
+  constexpr double uniform01() noexcept {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept {
+  constexpr double uniform(double lo, double hi) noexcept {
     return lo + (hi - lo) * uniform01();
   }
 
   /// Uniform integer in [lo, hi] (inclusive), bias-free via rejection.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
     RECONF_EXPECTS(lo <= hi);
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) return static_cast<std::int64_t>(next());  // full range

@@ -130,7 +130,11 @@ std::optional<TaskSet> generate(const GenRequest& request) {
   const GenProfile& p = request.profile;
   RECONF_EXPECTS(p.num_tasks > 0);
   RECONF_EXPECTS(p.area_min >= 1 && p.area_min <= p.area_max);
-  RECONF_EXPECTS(p.period_min > 0 && p.period_min < p.period_max);
+  if (p.period_choices.empty()) {
+    RECONF_EXPECTS(p.period_min > 0 && p.period_min < p.period_max);
+  } else {
+    for (const Ticks t : p.period_choices) RECONF_EXPECTS(t >= 1);
+  }
   RECONF_EXPECTS(p.util_min >= 0 && p.util_min <= p.util_max &&
                  p.util_max <= 1.0);
   RECONF_EXPECTS(p.deadline_ratio_min > 0 &&
@@ -143,8 +147,13 @@ std::optional<TaskSet> generate(const GenRequest& request) {
 
   for (int i = 0; i < p.num_tasks; ++i) {
     Task t;
-    const double period_units = rng.uniform(p.period_min, p.period_max);
-    t.period = std::max<Ticks>(1, ticks_from_units(period_units, p.scale));
+    if (!p.period_choices.empty()) {
+      t.period = p.period_choices[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(p.period_choices.size()) - 1))];
+    } else {
+      const double period_units = rng.uniform(p.period_min, p.period_max);
+      t.period = std::max<Ticks>(1, ticks_from_units(period_units, p.scale));
+    }
     const double ratio =
         rng.uniform(p.deadline_ratio_min, p.deadline_ratio_max);
     t.deadline = std::clamp<Ticks>(

@@ -27,6 +27,12 @@ struct GenProfile {
   double period_min = 5.0;   ///< paper-units, exclusive lower edge
   double period_max = 20.0;  ///< paper-units, exclusive upper edge
 
+  /// When non-empty, periods are drawn uniformly from this list of tick
+  /// values instead of the continuous (period_min, period_max) range. The
+  /// oracle's adversarial families use it to force harmonic ladders (small
+  /// exact hyperperiods) and pairwise co-prime grids (exploding ones).
+  std::vector<Ticks> period_choices;
+
   double util_min = 0.0;  ///< per-task factor u lower bound
   double util_max = 1.0;  ///< per-task factor u upper bound
 

@@ -60,6 +60,7 @@ TestReport gfb_test(const TaskSet& ts, MpPlatform platform) {
 
   if (!ts.all_implicit_deadline()) {
     report.note = "GFB requires implicit deadlines (D = T)";
+    report.refused = true;
     return report;
   }
 
@@ -89,6 +90,14 @@ TestReport bcl_test(const TaskSet& ts, MpPlatform platform) {
   TestReport report;
   report.test_name = "BCL";
   if (reject_infeasible(ts, platform, report)) return report;
+
+  // BCL's interference window assumes D ≤ T, like GN1 which descends from
+  // it; refuse arbitrary deadlines instead of over-accepting.
+  if (!ts.all_constrained_deadline()) {
+    report.note = "BCL requires constrained deadlines (D <= T)";
+    report.refused = true;
+    return report;
+  }
 
   report.verdict = Verdict::kSchedulable;
   for (std::size_t k = 0; k < ts.size(); ++k) {
@@ -130,6 +139,15 @@ TestReport bak1_test(const TaskSet& ts, MpPlatform platform) {
   TestReport report;
   report.test_name = "BAK1";
   if (reject_infeasible(ts, platform, report)) return report;
+
+  // β's (T_i − D_i) term goes negative for D_i > T_i, shrinking the
+  // interference estimate below its constrained-deadline meaning; refuse
+  // arbitrary deadlines like the capability metadata declares.
+  if (!ts.all_constrained_deadline()) {
+    report.note = "BAK1 requires constrained deadlines (D <= T)";
+    report.refused = true;
+    return report;
+  }
 
   const double m = static_cast<double>(platform.processors);
   report.verdict = Verdict::kSchedulable;

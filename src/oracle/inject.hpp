@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/registry.hpp"
+
+namespace reconf::oracle {
+
+/// Deliberately broken analyzers for end-to-end self-tests of the
+/// differential pipeline: inject a known bug class, assert the oracle
+/// catches it, and assert the shrinker reduces the witness to a tiny repro.
+/// Never registered into the process-wide registry.
+enum class InjectMode {
+  kNone,
+  /// "inject-us-bound": accepts whenever U_S(Γ) ≤ A(H) and the basic
+  /// feasibility checks pass — a *necessary* condition passed off as
+  /// sufficient, the archetypal unsound test. Must show up as a
+  /// sufficiency violation.
+  kOverAccept,
+  /// "inject-split": reference path always inconclusive, fast path accepts
+  /// even-sized tasksets — a fast/slow divergence by construction.
+  kFastSlow,
+};
+
+[[nodiscard]] const char* to_string(InjectMode mode) noexcept;
+[[nodiscard]] std::optional<InjectMode> inject_mode_from_string(
+    std::string_view name) noexcept;
+
+/// Registers every built-in analyzer plus the injected faulty one into
+/// `registry` (which must be empty). Returns the injected analyzer's id
+/// ("" for kNone).
+std::string populate_injected_registry(analysis::AnalyzerRegistry& registry,
+                                       InjectMode mode);
+
+}  // namespace reconf::oracle

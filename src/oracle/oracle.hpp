@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::oracle {
+
+/// Configuration of the hyperperiod-bounded simulation oracle.
+struct OracleConfig {
+  /// Horizon cap in multiples of T_max when the hyperperiod overflows or
+  /// exceeds it (SimConfig::horizon_periods). The sync-release verdict is
+  /// *exact* (a necessary-and-sufficient sample for that release pattern)
+  /// only when the horizon covered the full hyperperiod.
+  int horizon_periods = 60;
+
+  /// Extra random release-offset patterns tried per scheduler. Sufficient
+  /// tests quantify over every release pattern, so any pattern that misses
+  /// refutes an acceptance; offsets are seeded deterministically from
+  /// `offset_seed`, never from the platform.
+  int offset_trials = 2;
+
+  /// Run the tightened InvariantChecker on every oracle simulation; any
+  /// violation is reported as evidence (the oracle must not adjudicate with
+  /// a broken referee).
+  bool check_invariants = true;
+
+  std::uint64_t offset_seed = 0x0FF5E75EEDull;
+};
+
+/// Everything one scheduler's simulations established about a taskset.
+struct SchedulerEvidence {
+  /// Some tried release pattern missed a deadline — refutes any acceptance
+  /// claimed sound for this scheduler.
+  bool any_miss = false;
+  /// The synchronous (paper-setting) pattern missed.
+  bool sync_miss = false;
+  /// The sync horizon covered the full hyperperiod: the sync verdict is
+  /// exact for periodic synchronous release, not merely a bounded sample.
+  bool exact = false;
+  /// First missed deadline of the sync run (absolute ticks); -1 = none.
+  Ticks sync_first_miss = -1;
+  /// Violations collected by the tightened invariant checker across all
+  /// tried patterns (prefixed with the offending pattern).
+  std::vector<std::string> invariant_violations;
+};
+
+/// Simulates `ts` under `scheduler` on the synchronous release pattern plus
+/// `config.offset_trials` seeded random-offset patterns. Deterministic: a
+/// pure function of the arguments.
+[[nodiscard]] SchedulerEvidence probe_scheduler(const TaskSet& ts,
+                                                Device device,
+                                                sim::SchedulerKind scheduler,
+                                                const OracleConfig& config);
+
+/// Evidence for both global EDF variants plus the Danne dominance
+/// cross-check (FkF-schedulable must imply NF-schedulable per pattern).
+struct OracleEvidence {
+  SchedulerEvidence nf;
+  SchedulerEvidence fkf;
+  bool dominance_violated = false;
+};
+
+/// Probes EDF-NF and EDF-FkF. `with_offsets` disables the offset trials
+/// when false (the differential harness only needs them to attack
+/// acceptances; rejected tasksets get the cheaper sync-only probe).
+[[nodiscard]] OracleEvidence probe(const TaskSet& ts, Device device,
+                                   const OracleConfig& config,
+                                   bool with_offsets = true);
+
+}  // namespace reconf::oracle

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "task/taskset.hpp"
+
+namespace reconf::oracle {
+
+/// One corpus entry (schema reconf-repro/1) — a taskset plus the
+/// expectations corpus_replay_test re-checks on every CI run. One JSON
+/// object per line:
+///
+///   {"schema":"reconf-repro/1","id":"dp-boundary-fig3","kind":"boundary",
+///    "device":100,"tasks":[{"c":126,"d":700,"t":700,"a":9}],
+///    "tests":["dp","gn1","gn2"],"expect":"schedulable","sim":"meets",
+///    "analyzer":"dp","scheduler":"EDF-NF","family":"near_boundary",
+///    "seed":"0x1f","note":"..."}
+///
+/// Required: schema, id, kind, device, tasks. Everything else optional.
+/// `kind` names why the entry exists (boundary, sufficiency_violation,
+/// fast_slow_divergence, pessimism, ...) — free-form, recorded for humans.
+struct ReproCase {
+  std::string id;
+  std::string kind;
+  Device device{};
+  TaskSet taskset;
+
+  /// Analyzer lineup for replay; empty = the default engine lineup.
+  std::vector<std::string> tests;
+  /// Expected union verdict of the lineup (run() and decide() both).
+  std::optional<bool> expect_accept;
+  /// Expected synchronous-release EDF-NF simulation outcome
+  /// (true = misses a deadline within the default oracle horizon).
+  std::optional<bool> expect_sync_miss;
+
+  // Provenance, not replayed:
+  std::string analyzer;
+  std::string scheduler;
+  std::string family;
+  std::uint64_t seed = 0;
+  std::string note;
+};
+
+/// Serializes one corpus line (no trailing newline).
+[[nodiscard]] std::string format_repro_line(const ReproCase& repro);
+
+/// Parses one corpus line. Throws std::runtime_error naming the offending
+/// field on malformed input (layered on svc/json.hpp and the shared
+/// io::make_task_checked validation, like the service codec).
+[[nodiscard]] ReproCase parse_repro_line(const std::string& line);
+
+/// Reads a whole .ndjson corpus stream: one entry per line, blank lines and
+/// '#' comments skipped. Throws with a line number on the first bad entry.
+[[nodiscard]] std::vector<ReproCase> read_corpus(std::istream& in);
+
+}  // namespace reconf::oracle

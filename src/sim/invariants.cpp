@@ -1,5 +1,7 @@
 #include "sim/invariants.hpp"
 
+#include "task/job.hpp"
+
 namespace reconf::sim {
 
 void InvariantChecker::violate(Ticks now, const std::string& what) {
@@ -29,6 +31,27 @@ void InvariantChecker::on_dispatch(const DispatchSnapshot& snap,
     violate(snap.now, "occupied area exceeds A(H)");
   }
 
+  // Expired jobs must have been adjudicated as misses before this dispatch.
+  for (std::size_t i = 0; i < snap.active.size(); ++i) {
+    if (snap.active[i].remaining > 0 &&
+        snap.active[i].abs_deadline <= snap.now) {
+      violate(snap.now, "unfinished job scheduled past its deadline");
+      break;
+    }
+  }
+
+  // The queue must be in exact EDF priority order (EDF-US reorders by the
+  // heaviness class the snapshot does not carry, so it is exempt).
+  if (scheduler_ == SchedulerKind::kEdfNf ||
+      scheduler_ == SchedulerKind::kEdfFkF) {
+    for (std::size_t i = 1; i < snap.active.size(); ++i) {
+      if (edf_before(snap.active[i], snap.active[i - 1])) {
+        violate(snap.now, "dispatch queue is not in EDF order");
+        break;
+      }
+    }
+  }
+
   if (scheduler_ == SchedulerKind::kEdfFkF) {
     bool seen_waiting = false;
     for (std::size_t i = 0; i < snap.running.size(); ++i) {
@@ -42,6 +65,22 @@ void InvariantChecker::on_dispatch(const DispatchSnapshot& snap,
   }
 
   if (placement_ != PlacementMode::kUnrestrictedMigration) return;
+
+  // EDF-FkF blocks on its queue head: the first waiting job must genuinely
+  // not fit, or the scheduler idled capacity it was supposed to use.
+  if (scheduler_ == SchedulerKind::kEdfFkF) {
+    for (std::size_t i = 0; i < snap.active.size(); ++i) {
+      if (snap.running[i] != 0) continue;
+      if (occupied + snap.active[i].area <= device.width) {
+        violate(snap.now,
+                "EDF-FkF blocked although its queue head fits (occupied " +
+                    std::to_string(occupied) + " + " +
+                    std::to_string(snap.active[i].area) + " <= " +
+                    std::to_string(device.width) + ")");
+      }
+      break;  // only the head of the waiting suffix blocks
+    }
+  }
 
   if (scheduler_ == SchedulerKind::kEdfFkF && any_waiting) {
     const Area bound = device.width - (ts.max_area() - 1);

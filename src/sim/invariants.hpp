@@ -12,16 +12,26 @@ namespace reconf::sim {
 /// properties the paper's analysis rests on:
 ///
 ///  * the area cap Σ A_i(running) ≤ A(H);
-///  * EDF-FkF's prefix property (Definition 1);
+///  * EDF priority order — the dispatch queue must be sorted by
+///    edf_before (EDF-NF and EDF-FkF; EDF-US reorders by heaviness and is
+///    exempt);
+///  * no expired jobs — every unfinished active job's absolute deadline
+///    lies strictly in the future (misses must be detected *before* the
+///    dispatch, never scheduled through);
+///  * EDF-FkF's prefix property (Definition 1), and that the blocking head
+///    genuinely does not fit: occupied + A(head) > A(H) (unrestricted
+///    migration only — fragmentation legitimately blocks smaller heads in
+///    placement-constrained mode);
 ///  * Lemma 1 — EDF-FkF is global-α-work-conserving with
 ///    α = 1 − (A_max − 1)/A(H): whenever jobs wait, occupied area is at
 ///    least A(H) − (A_max − 1);
 ///  * Lemma 2 — EDF-NF is interval-α-work-conserving: while a job J_k with
-///    area A_k waits, occupied area is at least A(H) − (A_k − 1).
+///    area A_k waits, occupied area is at least A(H) − (A_k − 1) — the
+///    exact greedy condition: a waiting job must not fit in the free area.
 ///
-/// The lemma checks apply only in the paper's unrestricted-migration model;
-/// in placement-constrained mode fragmentation legitimately breaks them, so
-/// only the cap and prefix checks run there.
+/// The lemma and fit checks apply only in the paper's unrestricted-migration
+/// model; in placement-constrained mode fragmentation legitimately breaks
+/// them, so only the cap, order, expiry and prefix checks run there.
 ///
 /// Same checks as SimConfig::check_invariants, exposed as an observer so
 /// property tests can attach it selectively and inspect violations.

@@ -8,242 +8,16 @@
 #include <vector>
 
 #include "analysis/registry.hpp"
+#include "svc/json.hpp"
 #include "task/io.hpp"
 
 namespace reconf::svc {
 
 namespace {
 
-// ------------------------------------------------------------------------
-// Minimal recursive-descent JSON parser. Hand-rolled because the container
-// bakes no JSON dependency; covers the full value grammar the codec needs
-// (objects, arrays, strings with escapes, integer/real numbers, literals).
-// ------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  long long integer = 0;
-  bool integral = false;  ///< number was written without '.', 'e', fits i64
-  std::string text;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& src) : src_(src) {}
-
-  JsonValue parse_document() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != src_.size()) fail("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw CodecError("json error at byte " + std::to_string(pos_) + ": " +
-                     what);
-  }
-
-  void skip_ws() {
-    while (pos_ < src_.size() &&
-           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
-            src_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= src_.size()) fail("unexpected end of input");
-    return src_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't':
-      case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      JsonValue key = parse_string();
-      expect(':');
-      v.members.emplace_back(std::move(key.text), parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  JsonValue parse_string() {
-    if (peek() != '"') fail("expected string");
-    ++pos_;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_++];
-      if (c == '"') return v;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        fail("raw control character in string");
-      }
-      if (c != '\\') {
-        v.text.push_back(c);
-        continue;
-      }
-      if (pos_ >= src_.size()) break;
-      const char esc = src_[pos_++];
-      switch (esc) {
-        case '"': v.text.push_back('"'); break;
-        case '\\': v.text.push_back('\\'); break;
-        case '/': v.text.push_back('/'); break;
-        case 'b': v.text.push_back('\b'); break;
-        case 'f': v.text.push_back('\f'); break;
-        case 'n': v.text.push_back('\n'); break;
-        case 'r': v.text.push_back('\r'); break;
-        case 't': v.text.push_back('\t'); break;
-        case 'u': v.text += parse_unicode_escape(); break;
-        default: fail("invalid escape sequence");
-      }
-    }
-    fail("unterminated string");
-  }
-
-  std::string parse_unicode_escape() {
-    if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
-    unsigned code = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char h = src_[pos_++];
-      code <<= 4;
-      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-      else fail("invalid hex digit in \\u escape");
-    }
-    if (code >= 0xD800 && code <= 0xDFFF) {
-      fail("surrogate \\u escapes are not supported");
-    }
-    // UTF-8 encode the BMP code point.
-    std::string out;
-    if (code < 0x80) {
-      out.push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
-    return out;
-  }
-
-  JsonValue parse_bool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (src_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (src_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("invalid literal");
-    }
-    return v;
-  }
-
-  JsonValue parse_null() {
-    if (src_.compare(pos_, 4, "null") != 0) fail("invalid literal");
-    pos_ += 4;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNull;
-    return v;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
-    bool digits = false;
-    bool real = false;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        digits = true;
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        real = real || c == '.' || c == 'e' || c == 'E';
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (!digits) fail("invalid number");
-    const std::string token = src_.substr(start, pos_ - start);
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      std::size_t used = 0;
-      v.number = std::stod(token, &used);
-      if (used != token.size()) throw std::invalid_argument(token);
-    } catch (const std::exception&) {
-      fail("unparsable number '" + token + "'");
-    }
-    if (!real) {
-      try {
-        std::size_t used = 0;
-        v.integer = std::stoll(token, &used);
-        v.integral = used == token.size();
-      } catch (const std::exception&) {
-        v.integral = false;  // integer-looking but overflows i64
-      }
-    }
-    return v;
-  }
-
-  const std::string& src_;
-  std::size_t pos_ = 0;
-};
+// The JSON value grammar lives in svc/json.hpp (shared with the oracle's
+// NDJSON repro reader); this file owns only the request/response schema.
+using JsonValue = json::Value;
 
 // ------------------------------------------------------------- request ----
 
@@ -396,7 +170,12 @@ BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
 }  // namespace
 
 BatchRequest parse_request_line(const std::string& line) {
-  JsonValue doc = JsonParser(line).parse_document();
+  JsonValue doc;
+  try {
+    doc = json::parse(line);
+  } catch (const json::JsonError& e) {
+    throw CodecError(e.what());
+  }
   if (doc.kind != JsonValue::Kind::kObject) {
     bad_request("request line must be a JSON object");
   }

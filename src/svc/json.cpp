@@ -1,0 +1,234 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+
+namespace reconf::svc::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json error at byte " + std::to_string(pos_) + ": " +
+                    what);
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
+            src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      Value key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key.text), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        v.text.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) break;
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': v.text.push_back('"'); break;
+        case '\\': v.text.push_back('\\'); break;
+        case '/': v.text.push_back('/'); break;
+        case 'b': v.text.push_back('\b'); break;
+        case 'f': v.text.push_back('\f'); break;
+        case 'n': v.text.push_back('\n'); break;
+        case 'r': v.text.push_back('\r'); break;
+        case 't': v.text.push_back('\t'); break;
+        case 'u': v.text += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = src_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail("surrogate \\u escapes are not supported");
+    }
+    // UTF-8 encode the BMP code point.
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  Value parse_bool() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (src_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (src_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("invalid literal");
+    }
+    return v;
+  }
+
+  Value parse_null() {
+    if (src_.compare(pos_, 4, "null") != 0) fail("invalid literal");
+    pos_ += 4;
+    Value v;
+    v.kind = Value::Kind::kNull;
+    return v;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
+    bool digits = false;
+    bool real = false;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        real = real || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail("invalid number");
+    const std::string token = src_.substr(start, pos_ - start);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      fail("unparsable number '" + token + "'");
+    }
+    if (!real) {
+      try {
+        std::size_t used = 0;
+        v.integer = std::stoll(token, &used);
+        v.integral = used == token.size();
+      } catch (const std::exception&) {
+        v.integral = false;  // integer-looking but overflows i64
+      }
+    }
+    return v;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value parse(const std::string& src) { return Parser(src).parse_document(); }
+
+}  // namespace reconf::svc::json

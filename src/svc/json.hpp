@@ -1,0 +1,44 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reconf::svc::json {
+
+/// Thrown on malformed JSON; the message carries the byte offset of the
+/// failure ("json error at byte N: ..."). Callers with their own error
+/// taxonomy (the NDJSON codec's CodecError, the oracle repro reader) catch
+/// and rewrap it.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value. A tagged struct rather than a variant so consumers
+/// can pattern-match with plain field access; only the fields implied by
+/// `kind` are meaningful.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  long long integer = 0;
+  bool integral = false;  ///< number was written without '.', 'e', fits i64
+  std::string text;
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  /// The member named `key`, or nullptr (objects only; first match wins).
+  [[nodiscard]] const Value* find(const std::string& key) const noexcept;
+};
+
+/// Parses exactly one JSON document (trailing garbage is an error). Covers
+/// the full value grammar the NDJSON formats need: objects, arrays, strings
+/// with escapes (including BMP \u), integer/real numbers, literals.
+/// Hand-rolled because the container bakes no JSON dependency.
+/// Throws JsonError on malformed input.
+[[nodiscard]] Value parse(const std::string& src);
+
+}  // namespace reconf::svc::json

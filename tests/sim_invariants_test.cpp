@@ -1,6 +1,8 @@
-// Trace-level validation of the work-conserving lemmas the paper's bounds
-// rest on (Section 3): Lemma 1 for EDF-FkF, Lemma 2 for EDF-NF, and the
-// FkF prefix property, checked at every dispatch of randomized simulations.
+// Trace-level validation of the structural properties the paper's bounds
+// rest on (Section 3): the work-conserving lemmas (Lemma 1 for EDF-FkF,
+// Lemma 2 for EDF-NF), the FkF prefix property, exact EDF dispatch order,
+// and first-miss-time monotonicity — checked at every dispatch of
+// randomized simulations, including the oracle's adversarial families.
 
 #include <cstdint>
 #include <string>
@@ -8,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include "gen/generator.hpp"
+#include "oracle/families.hpp"
 #include "sim/engine.hpp"
 #include "sim/invariants.hpp"
+#include "sim/observer.hpp"
 #include "task/io.hpp"
+#include "task/job.hpp"
 #include "task/task.hpp"
 
 namespace reconf::sim {
@@ -123,6 +128,224 @@ TEST(InvariantChecker, PlacementModeSkipsLemmaChecks) {
   const SimResult r = simulate(*ts, Device{100}, cfg);
   EXPECT_TRUE(r.invariant_violations.empty())
       << r.invariant_violations.front();
+}
+
+// ---------------------------------------------------- oracle-trace fuzz --
+// The tightened checks under adversarial load: every family of the fuzz
+// oracle, both global EDF schedulers, overload included. These are the
+// traces the differential oracle adjudicates with, so the checker must stay
+// silent on all of them.
+
+struct OracleTraceCase {
+  oracle::FuzzFamily family;
+  std::uint64_t seed;
+  SchedulerKind scheduler;
+};
+
+class OracleTraceSweep : public ::testing::TestWithParam<OracleTraceCase> {};
+
+TEST_P(OracleTraceSweep, TightenedInvariantsHoldOnOracleTraces) {
+  const OracleTraceCase& c = GetParam();
+  oracle::FamilyRequest req;
+  req.family = c.family;
+  req.num_tasks = 8;
+  req.seed = c.seed;
+  const oracle::FuzzCase fuzz = oracle::make_fuzz_case(req);
+
+  SimConfig cfg;
+  cfg.scheduler = c.scheduler;
+  cfg.horizon_periods = 40;
+  cfg.check_invariants = true;
+  cfg.stop_on_first_miss = false;  // overload stresses every check hardest
+  const SimResult r = simulate(fuzz.taskset, fuzz.device, cfg);
+  EXPECT_TRUE(r.invariant_violations.empty())
+      << r.invariant_violations.front() << "\n"
+      << io::to_string(fuzz.taskset, fuzz.device);
+  EXPECT_GT(r.dispatches, 0u);
+}
+
+std::vector<OracleTraceCase> oracle_trace_cases() {
+  std::vector<OracleTraceCase> cases;
+  for (const auto kind : {SchedulerKind::kEdfNf, SchedulerKind::kEdfFkF}) {
+    for (const auto family : oracle::all_families()) {
+      for (std::uint64_t s = 0; s < 4; ++s) {
+        cases.push_back({family, 0x7 + s * 97, kind});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OracleFamilies, OracleTraceSweep,
+    ::testing::ValuesIn(oracle_trace_cases()),
+    [](const ::testing::TestParamInfo<OracleTraceCase>& info) {
+      const OracleTraceCase& c = info.param;
+      return std::string(c.scheduler == SchedulerKind::kEdfNf ? "NF" : "FkF") +
+             "_" + oracle::to_string(c.family) + "_s" +
+             std::to_string(c.seed & 0xFFFF);
+    });
+
+// ------------------------------------------------------ EDF dispatch order --
+
+/// Observer re-deriving the dispatch-order and greedy-fit properties from
+/// the raw snapshot, independently of the InvariantChecker implementation.
+class EdfOrderObserver final : public DispatchObserver {
+ public:
+  void on_dispatch(const DispatchSnapshot& snap, const TaskSet&,
+                   Device device) override {
+    ++dispatches_;
+    for (std::size_t i = 1; i < snap.active.size(); ++i) {
+      // The queue is one strict-weak-order sort: no later job may outrank
+      // an earlier one.
+      if (edf_before(snap.active[i], snap.active[i - 1])) ++order_errors_;
+    }
+    Area occupied = 0;
+    for (std::size_t i = 0; i < snap.active.size(); ++i) {
+      if (snap.running[i] != 0) occupied += snap.active[i].area;
+    }
+    // Work conservation (NF greedy): any waiting job must genuinely not
+    // fit into the free area.
+    for (std::size_t i = 0; i < snap.active.size(); ++i) {
+      if (snap.running[i] == 0 &&
+          occupied + snap.active[i].area <= device.width) {
+        ++conservation_errors_;
+      }
+    }
+  }
+
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t order_errors_ = 0;
+  std::uint64_t conservation_errors_ = 0;
+};
+
+TEST(EdfDispatchOrder, QueueIsSortedAndNfIsGreedyOnOracleTraces) {
+  for (const auto family :
+       {oracle::FuzzFamily::kNearBoundary, oracle::FuzzFamily::kZeroLaxity,
+        oracle::FuzzFamily::kHeavyTailArbitrary}) {
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      oracle::FamilyRequest req;
+      req.family = family;
+      req.num_tasks = 10;
+      req.seed = 0xED5 + s;
+      const oracle::FuzzCase fuzz = oracle::make_fuzz_case(req);
+
+      EdfOrderObserver observer;
+      SimConfig cfg;
+      cfg.scheduler = SchedulerKind::kEdfNf;
+      cfg.horizon_periods = 30;
+      cfg.stop_on_first_miss = false;
+      cfg.observer = &observer;
+      (void)simulate(fuzz.taskset, fuzz.device, cfg);
+
+      EXPECT_GT(observer.dispatches_, 0u);
+      EXPECT_EQ(observer.order_errors_, 0u)
+          << oracle::to_string(family) << " seed " << s;
+      EXPECT_EQ(observer.conservation_errors_, 0u)
+          << oracle::to_string(family) << " seed " << s;
+    }
+  }
+}
+
+TEST(InvariantChecker, FlagsAnOutOfOrderQueue) {
+  // Feed the checker a hand-built snapshot violating EDF order: it must
+  // complain (guards against the checker itself rotting into a no-op).
+  InvariantChecker checker(SchedulerKind::kEdfNf,
+                           PlacementMode::kUnrestrictedMigration);
+  Job early;
+  early.task_index = 0;
+  early.abs_deadline = 5;
+  early.remaining = 1;
+  early.area = 1;
+  Job late;
+  late.task_index = 1;
+  late.abs_deadline = 9;
+  late.remaining = 1;
+  late.area = 1;
+  const Job active[] = {late, early};  // wrong order
+  const std::uint8_t running[] = {1, 1};
+  DispatchSnapshot snap;
+  snap.now = 0;
+  snap.active = active;
+  snap.running = running;
+  snap.occupied = 2;
+  const TaskSet ts({make_task(1, 5, 5, 1, "a", 1),
+                    make_task(1, 9, 9, 1, "b", 1)});
+  checker.on_dispatch(snap, ts, Device{4});
+  ASSERT_FALSE(checker.clean());
+  EXPECT_NE(checker.violations().front().find("EDF order"),
+            std::string::npos);
+}
+
+// --------------------------------------------------- first-miss monotonicity
+
+TEST(FirstMissMonotonicity, FirstMissIsInvariantUnderHorizonExtension) {
+  // If a run misses within horizon H, the same run observed to any longer
+  // horizon must report the identical first miss (task, sequence,
+  // deadline); if it was clean to H, a longer run may only miss later.
+  int checked = 0;
+  for (const auto family : oracle::all_families()) {
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      oracle::FamilyRequest req;
+      req.family = family;
+      req.num_tasks = 6;
+      req.seed = 0x3317 + s * 13;
+      const oracle::FuzzCase fuzz = oracle::make_fuzz_case(req);
+
+      SimConfig short_cfg;
+      short_cfg.horizon_periods = 20;
+      const SimResult short_run = simulate(fuzz.taskset, fuzz.device,
+                                           short_cfg);
+      SimConfig long_cfg;
+      long_cfg.horizon_periods = 45;
+      const SimResult long_run = simulate(fuzz.taskset, fuzz.device,
+                                          long_cfg);
+
+      if (short_run.first_miss) {
+        ASSERT_TRUE(long_run.first_miss.has_value())
+            << io::to_string(fuzz.taskset, fuzz.device);
+        EXPECT_EQ(long_run.first_miss->task_index,
+                  short_run.first_miss->task_index);
+        EXPECT_EQ(long_run.first_miss->sequence,
+                  short_run.first_miss->sequence);
+        EXPECT_EQ(long_run.first_miss->deadline,
+                  short_run.first_miss->deadline);
+        ++checked;
+      } else if (long_run.first_miss) {
+        EXPECT_GT(long_run.first_miss->deadline, short_run.horizon);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0) << "sweep never produced a miss to check";
+}
+
+TEST(FirstMissMonotonicity, StopModeDoesNotChangeTheFirstMiss) {
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    oracle::FamilyRequest req;
+    req.family = oracle::FuzzFamily::kNearBoundary;
+    req.num_tasks = 8;
+    req.seed = 0xCAFE + s;
+    const oracle::FuzzCase fuzz = oracle::make_fuzz_case(req);
+
+    SimConfig stop_cfg;
+    stop_cfg.stop_on_first_miss = true;
+    SimConfig continue_cfg;
+    continue_cfg.stop_on_first_miss = false;
+    const SimResult stopped = simulate(fuzz.taskset, fuzz.device, stop_cfg);
+    const SimResult continued =
+        simulate(fuzz.taskset, fuzz.device, continue_cfg);
+
+    ASSERT_EQ(stopped.first_miss.has_value(),
+              continued.first_miss.has_value());
+    if (stopped.first_miss) {
+      EXPECT_EQ(stopped.first_miss->task_index,
+                continued.first_miss->task_index);
+      EXPECT_EQ(stopped.first_miss->deadline,
+                continued.first_miss->deadline);
+      EXPECT_GE(continued.deadline_misses, stopped.deadline_misses);
+    }
+  }
 }
 
 }  // namespace
