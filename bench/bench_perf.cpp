@@ -11,11 +11,25 @@
 #include "analysis/gn1.hpp"
 #include "analysis/gn2.hpp"
 #include "gen/generator.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace {
 
 using namespace reconf;
+
+/// Scoped obs kill-switch: the kernel baselines run with metrics disabled
+/// (matching the committed BENCH_perf.json, which predates src/obs/ — the
+/// <2% decide() regression budget is judged against it), while the
+/// BM_Obs*/BM_EngineTrioDecideObs benches flip it on to price the enabled
+/// path.
+struct ScopedObs {
+  explicit ScopedObs(bool on) : prev(obs::enabled()) { obs::set_enabled(on); }
+  ~ScopedObs() { obs::set_enabled(prev); }
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+  bool prev;
+};
 
 TaskSet make_taskset(int n, std::uint64_t seed, double us_frac = 0.3) {
   gen::GenRequest req;
@@ -67,6 +81,7 @@ analysis::AnalysisEngine fast_engine(const char* test) {
 }
 
 void BM_DpFast(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 11);
   const Device dev{100};
   const auto engine = fast_engine("dp");
@@ -78,6 +93,7 @@ void BM_DpFast(benchmark::State& state) {
 BENCHMARK(BM_DpFast)->RangeMultiplier(2)->Range(2, 64)->Complexity();
 
 void BM_Gn1Fast(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 22);
   const Device dev{100};
   const auto engine = fast_engine("gn1");
@@ -89,6 +105,7 @@ void BM_Gn1Fast(benchmark::State& state) {
 BENCHMARK(BM_Gn1Fast)->RangeMultiplier(2)->Range(2, 64)->Complexity();
 
 void BM_Gn2Fast(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 33);
   const Device dev{100};
   const auto engine = fast_engine("gn2");
@@ -123,6 +140,7 @@ BENCHMARK(BM_CompositeTest)->Arg(4)->Arg(10)->Arg(32);
 // path; the gap to BM_CompositeTest combines kernel-vs-reference-evaluator
 // cost with the shim's run-all + per-call engine construction overhead.
 void BM_EngineTrioEarlyExit(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
   const Device dev{100};
   const analysis::AnalysisEngine engine{analysis::fast_any_request()};
@@ -133,6 +151,7 @@ void BM_EngineTrioEarlyExit(benchmark::State& state) {
 BENCHMARK(BM_EngineTrioEarlyExit)->Arg(4)->Arg(10)->Arg(32);
 
 void BM_EngineTrioRunAll(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
   const Device dev{100};
   analysis::AnalysisRequest request;
@@ -149,6 +168,7 @@ BENCHMARK(BM_EngineTrioRunAll)->Arg(4)->Arg(10)->Arg(32);
 // run()) is the minimal-TestReport/outcome-vector assembly run() still
 // pays in fast mode.
 void BM_EngineTrioDecide(benchmark::State& state) {
+  const ScopedObs obs_off(false);
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
   const Device dev{100};
   const analysis::AnalysisEngine engine{analysis::fast_any_request()};
@@ -157,6 +177,58 @@ void BM_EngineTrioDecide(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineTrioDecide)->Arg(4)->Arg(10)->Arg(32);
+
+// ---- observability cost: the enabled serving path and the primitives.
+// BM_EngineTrioDecideObs vs BM_EngineTrioDecide is the whole-path price of
+// leaving metrics on (counters + spans armed but no tracer running);
+// BM_ObsCounterIncDisabled vs BM_ObsCounterInc is the kill switch at the
+// single-write granularity.
+
+void BM_EngineTrioDecideObs(benchmark::State& state) {
+  const ScopedObs obs_on(true);
+  const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 55);
+  const Device dev{100};
+  const analysis::AnalysisEngine engine{analysis::fast_any_request()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.decide(ts, dev).accepted());
+  }
+}
+BENCHMARK(BM_EngineTrioDecideObs)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  const ScopedObs obs_on(true);
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  const ScopedObs obs_off(false);
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  const ScopedObs obs_on(true);
+  obs::Histogram histogram;
+  std::uint64_t sample = 1;
+  for (auto _ : state) {
+    histogram.record(sample);
+    sample = sample * 25 % 9999999783ull;  // walk the bucket ladder
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 void BM_SimulateNf(benchmark::State& state) {
   const TaskSet ts = make_taskset(static_cast<int>(state.range(0)), 66, 0.5);

@@ -12,6 +12,8 @@
 #include "analysis/registry.hpp"
 #include "common/stopwatch.hpp"
 #include "mp/mp_tests.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace reconf::analysis {
 
@@ -418,9 +420,34 @@ AnalysisEngine::AnalysisEngine(AnalysisRequest request,
   fingerprint_ = h;
 
   stats_ = std::make_unique<StatsCell[]>(analyzers_.size());
+
+  // Metric handles are shared per analyzer id across every engine instance;
+  // get-or-create here (mutex + string build, once per engine) buys
+  // lock-free increments on every verdict thereafter.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
+  obs_.reserve(analyzers_.size());
+  for (const Analyzer* analyzer : analyzers_) {
+    const std::string id(analyzer->id());
+    ObsCell cell;
+    const auto verdict_counter = [&](const char* verdict) {
+      return &metrics.counter("reconf_engine_verdicts_total{analyzer=\"" +
+                              id + "\",verdict=\"" + verdict + "\"}");
+    };
+    cell.accept = verdict_counter("accept");
+    cell.reject = verdict_counter("reject");
+    cell.refuse = verdict_counter("refuse");
+    cell.inconclusive = verdict_counter("inconclusive");
+    cell.latency =
+        &metrics.histogram("reconf_engine_latency_ns{analyzer=\"" + id +
+                           "\"}");
+    cell.span_name = analyzer->id();
+    cell.fast_cat = analyzer->has_fast_path() ? "fast" : "reference";
+    obs_.push_back(cell);
+  }
 }
 
 AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
+  const obs::Span run_span("engine.run", "engine");
   AnalysisReport out;
   out.outcomes.reserve(analyzers_.size());
 
@@ -457,12 +484,19 @@ AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
       continue;
     }
 
-    if (request_.measure) {
-      Stopwatch watch;
-      outcome.report = evaluate(analyzer);
-      outcome.seconds = watch.seconds();
-    } else {
-      outcome.report = evaluate(analyzer);
+    {
+      // Span category names which evaluation path answered: "fast" = the
+      // allocation-free SoA kernel, "reference" = the full evaluator.
+      const obs::Span analyzer_span(
+          obs_[i].span_name,
+          request_.diagnostics ? "reference" : obs_[i].fast_cat);
+      if (request_.measure) {
+        Stopwatch watch;
+        outcome.report = evaluate(analyzer);
+        outcome.seconds = watch.seconds();
+      } else {
+        outcome.report = evaluate(analyzer);
+      }
     }
     outcome.ran = true;
 
@@ -475,6 +509,21 @@ AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
         static_cast<std::uint64_t>(std::llround(outcome.seconds * 1e9)),
         std::memory_order_relaxed);
 
+    const ObsCell& oc = obs_[i];
+    if (outcome.report.accepted()) {
+      oc.accept->inc();
+    } else if (outcome.report.refused) {
+      oc.refuse->inc();
+    } else if (outcome.report.first_failing_task.has_value()) {
+      oc.reject->inc();
+    } else {
+      oc.inconclusive->inc();
+    }
+    if (request_.measure) {
+      oc.latency->record(
+          static_cast<std::uint64_t>(std::llround(outcome.seconds * 1e9)));
+    }
+
     if (outcome.report.accepted()) {
       out.verdict = Verdict::kSchedulable;
       decided = request_.early_exit;
@@ -485,6 +534,7 @@ AnalysisReport AnalysisEngine::run(const TaskSet& ts, Device device) const {
 }
 
 Decision AnalysisEngine::decide(const TaskSet& ts, Device device) const {
+  const obs::Span decide_span("engine.decide", "engine");
   Decision out;
   if (analyzers_.empty()) return out;
 
@@ -495,12 +545,15 @@ Decision AnalysisEngine::decide(const TaskSet& ts, Device device) const {
     const Analyzer& analyzer = *analyzers_[i];
     FastVerdict v;
     double seconds = 0.0;
-    if (request_.measure) {
-      Stopwatch watch;
-      v = analyzer.run_fast(scratch, ts, device, request_.config);
-      seconds = watch.seconds();
-    } else {
-      v = analyzer.run_fast(scratch, ts, device, request_.config);
+    {
+      const obs::Span analyzer_span(obs_[i].span_name, obs_[i].fast_cat);
+      if (request_.measure) {
+        Stopwatch watch;
+        v = analyzer.run_fast(scratch, ts, device, request_.config);
+        seconds = watch.seconds();
+      } else {
+        v = analyzer.run_fast(scratch, ts, device, request_.config);
+      }
     }
 
     StatsCell& cell = stats_[i];
@@ -512,6 +565,21 @@ Decision AnalysisEngine::decide(const TaskSet& ts, Device device) const {
       cell.nanos.fetch_add(
           static_cast<std::uint64_t>(std::llround(seconds * 1e9)),
           std::memory_order_relaxed);
+    }
+
+    // The hot-path telemetry promise: one relaxed increment per analyzer
+    // verdict (FastVerdict cannot see refusals — those count inconclusive).
+    const ObsCell& oc = obs_[i];
+    if (v.verdict == Verdict::kSchedulable) {
+      oc.accept->inc();
+    } else if (v.first_failing_task >= 0) {
+      oc.reject->inc();
+    } else {
+      oc.inconclusive->inc();
+    }
+    if (request_.measure) {
+      oc.latency->record(
+          static_cast<std::uint64_t>(std::llround(seconds * 1e9)));
     }
 
     if (v.verdict == Verdict::kSchedulable) {

@@ -16,6 +16,11 @@
 #include "partition/partitioned.hpp"
 #include "task/taskset.hpp"
 
+namespace reconf::obs {
+class Counter;
+class Histogram;
+}  // namespace reconf::obs
+
 namespace reconf::analysis {
 
 namespace detail {
@@ -325,12 +330,36 @@ class AnalysisEngine {
     std::atomic<std::uint64_t> nanos{0};
   };
 
+  /// Pre-resolved process-wide metric handles for one analyzer — resolved
+  /// once at engine construction so run()/decide() pay one relaxed
+  /// increment per verdict, never a registry lookup. Metrics are keyed by
+  /// analyzer id, so every engine instance feeds the same counters (the
+  /// registry accumulates across batch waves and sessions). Verdict
+  /// classes: accept = kSchedulable; refuse = the analyzer declined the
+  /// input model (diagnostics path only — the fast path cannot distinguish
+  /// a refusal and counts it inconclusive); reject = kInconclusive with a
+  /// named failing task; inconclusive = the rest.
+  struct ObsCell {
+    obs::Counter* accept = nullptr;
+    obs::Counter* reject = nullptr;
+    obs::Counter* refuse = nullptr;
+    obs::Counter* inconclusive = nullptr;
+    obs::Histogram* latency = nullptr;  ///< recorded only when measure
+    /// Span name/category, resolved at construction so the hot loop never
+    /// makes the id()/has_fast_path() virtual calls just to label a
+    /// (usually inactive) span. The name view aliases the analyzer's static
+    /// id storage. decide() always takes the fast kernel when one exists.
+    std::string_view span_name;
+    const char* fast_cat = "reference";
+  };
+
   [[nodiscard]] static const AnalyzerRegistry& default_registry();
 
   AnalysisRequest request_;
   std::vector<const Analyzer*> analyzers_;  ///< execution order
   std::uint64_t fingerprint_ = 0;
   std::unique_ptr<StatsCell[]> stats_;  ///< one cell per analyzer
+  std::vector<ObsCell> obs_;            ///< one cell per analyzer
 };
 
 }  // namespace reconf::analysis

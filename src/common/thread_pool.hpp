@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -13,6 +15,25 @@
 #include <vector>
 
 namespace reconf {
+
+/// Snapshot of one ThreadPool's work accounting (see ThreadPool::stats).
+struct PoolStats {
+  std::uint64_t jobs_submitted = 0;   ///< enqueue() calls so far
+  std::uint64_t jobs_executed = 0;    ///< jobs completed by workers
+  std::uint64_t busy_ns = 0;          ///< worker time inside jobs; only
+                                      ///< accumulated while obs::enabled()
+  std::size_t queue_depth = 0;        ///< jobs waiting right now
+  std::size_t max_queue_depth = 0;    ///< high-water mark since construction
+
+  /// Fraction of `threads` worker capacity spent inside jobs over
+  /// `elapsed_seconds` of wall time. Meaningful only when busy_ns was
+  /// accumulated (obs enabled for the whole window).
+  [[nodiscard]] double utilization(double elapsed_seconds,
+                                   unsigned threads) const noexcept {
+    const double capacity = elapsed_seconds * 1e9 * threads;
+    return capacity <= 0.0 ? 0.0 : static_cast<double>(busy_ns) / capacity;
+  }
+};
 
 /// Runs `body(i)` for every i in [0, n) using up to `threads` worker threads
 /// (0 selects the hardware concurrency). Iterations are distributed in
@@ -76,15 +97,25 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// Work accounting since construction: submitted/executed job counts,
+  /// current and high-water queue depth, and (while obs::enabled()) the
+  /// summed wall time workers spent inside jobs — the utilization input.
+  /// A racy snapshot, safe to call concurrently with submits.
+  [[nodiscard]] PoolStats stats() const;
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  std::uint64_t jobs_submitted_ = 0;   ///< guarded by mutex_
+  std::size_t max_queue_depth_ = 0;    ///< guarded by mutex_
+  std::atomic<std::uint64_t> jobs_executed_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace reconf

@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace reconf::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_active{false};
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaky: spans may fire at exit
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::start(std::size_t per_thread_capacity) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+    buf->dropped = 0;
+    buf->events.reserve(per_thread_capacity);
+  }
+  capacity_.store(per_thread_capacity, std::memory_order_relaxed);
+  epoch_ns_.store(now_ns(), std::memory_order_relaxed);
+  detail::g_trace_active.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() {
+  detail::g_trace_active.store(false, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  thread_local ThreadBuffer* mine = nullptr;
+  if (mine == nullptr) {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+    buf->events.reserve(capacity_.load(std::memory_order_relaxed));
+    mine = buf.get();
+    buffers_.push_back(std::move(buf));
+  }
+  return *mine;
+}
+
+void Tracer::record(std::string_view name, const char* cat,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!active()) return;
+  ThreadBuffer& buf = buffer_for_this_thread();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= capacity_.load(std::memory_order_relaxed)) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent e;
+  e.name.assign(name.data(), name.size());
+  e.cat = cat;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  buf.events.push_back(std::move(e));
+}
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& tb : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(tb->mutex);
+    for (const TraceEvent& e : tb->events) {
+      if (!first) out += ",";
+      first = false;
+      // ts/dur are microseconds (doubles) in the trace-event format;
+      // rebased so the trace starts near t=0. Events recorded with
+      // explicit pre-epoch timestamps clamp to 0.
+      const double ts_us =
+          e.ts_ns >= epoch
+              ? static_cast<double>(e.ts_ns - epoch) / 1e3
+              : 0.0;
+      std::snprintf(buf, sizeof buf,
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                    "\"tid\":%u}",
+                    ts_us, static_cast<double>(e.dur_ns) / 1e3, tb->tid);
+      out += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+             json_escape(e.cat) + "\"" + buf;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& tb : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(tb->mutex);
+    total += tb->dropped;
+  }
+  return total;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t total = 0;
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& tb : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(tb->mutex);
+    total += tb->events.size();
+  }
+  return total;
+}
+
+}  // namespace reconf::obs

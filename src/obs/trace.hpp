@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// reconf::obs tracing — RAII spans collected into per-thread buffers and
+/// exported as Chrome trace-event JSON ("X" complete events with explicit
+/// microsecond timestamps), loadable directly in Perfetto
+/// (https://ui.perfetto.dev) or chrome://tracing.
+///
+/// Tracing is opt-in and off by default: an inactive Span costs one relaxed
+/// load and a branch, allocates nothing, and records nothing — cheap enough
+/// to leave in the decide() hot path permanently. When active, each span
+/// records one complete event into its thread's buffer under that buffer's
+/// (uncontended) mutex; a full buffer drops new events and counts the drops
+/// rather than reallocating mid-measurement.
+namespace reconf::obs {
+
+namespace detail {
+/// Collection flag, written only by Tracer::start()/stop(). Lives at
+/// namespace scope (constant-initialized) rather than inside the Tracer
+/// singleton so an inactive Span pays one relaxed load — no magic-static
+/// guard check on the decide() hot path.
+extern std::atomic<bool> g_trace_active;
+}  // namespace detail
+
+/// One complete ("ph":"X") event. `cat` must point at a string with static
+/// storage duration; `name` is owned (analyzer ids and the fixed span names
+/// used in this repo fit std::string's SSO, so recording them does not
+/// allocate).
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";
+  std::uint64_t ts_ns = 0;   ///< steady-clock time at span start
+  std::uint64_t dur_ns = 0;
+};
+
+/// Process-wide trace collector. Thread-safe; see file comment.
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance();
+
+  /// Starts collecting, clearing any previous trace. Each thread buffers up
+  /// to `per_thread_capacity` events; beyond that, events are dropped and
+  /// counted.
+  void start(std::size_t per_thread_capacity = 1 << 16);
+
+  /// Stops collecting; the buffered events stay available for export.
+  void stop();
+
+  [[nodiscard]] bool active() const noexcept {
+    return detail::g_trace_active.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one complete event with explicit timestamps. No-op while
+  /// inactive. Thread-safe and wait-free against other threads (only the
+  /// exporter ever takes another thread's buffer mutex).
+  void record(std::string_view name, const char* cat, std::uint64_t ts_ns,
+              std::uint64_t dur_ns);
+
+  /// The whole trace as one Chrome trace-event JSON document:
+  ///   {"displayTimeUnit":"ns","traceEvents":[{"name":...,"cat":...,
+  ///    "ph":"X","ts":<us>,"dur":<us>,"pid":1,"tid":<n>},...]}
+  /// Timestamps are rebased to the start() call. Safe to call while
+  /// active (snapshots whatever has been recorded so far).
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Events dropped across all threads since start().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Buffered events across all threads.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Steady-clock nanoseconds (the timestamp domain of TraceEvent).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer& buffer_for_this_thread();
+
+  std::atomic<std::size_t> capacity_{1 << 16};
+  std::atomic<std::uint64_t> epoch_ns_{0};
+
+  mutable std::mutex registry_mutex_;
+  /// Buffers live for the process lifetime (threads cache raw pointers).
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: captures the start timestamp at construction when tracing is
+/// active, records one complete event at destruction. `name` must outlive
+/// the span (string literals and analyzer ids qualify); `cat` must be a
+/// static string.
+class Span {
+ public:
+  explicit Span(std::string_view name, const char* cat = "app") noexcept {
+    if (detail::g_trace_active.load(std::memory_order_relaxed)) {
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = Tracer::now_ns();
+      armed_ = true;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (armed_) {
+      Tracer::instance().record(name_, cat_,
+                                start_ns_, Tracer::now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  std::string_view name_;
+  const char* cat_ = "";
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace reconf::obs

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "analysis/registry.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace reconf::oracle {
@@ -70,7 +73,22 @@ void DifferentialHarness::adjudicate(const TaskSet& ts, Device device,
                                      FuzzFamily family, std::uint64_t seed,
                                      OracleStats& stats,
                                      std::vector<Disagreement>* out) const {
+  const obs::Span adjudicate_span("oracle.adjudicate", "oracle");
+  static obs::Counter& obs_tasksets =
+      obs::MetricsRegistry::instance().counter(
+          "reconf_oracle_tasksets_total");
+  static obs::Counter& obs_disagreements =
+      obs::MetricsRegistry::instance().counter(
+          "reconf_oracle_disagreements_total");
+  static obs::Histogram& obs_latency =
+      obs::MetricsRegistry::instance().histogram(
+          "reconf_oracle_adjudicate_ns");
+  const bool timed = obs::enabled();
+  Stopwatch adjudicate_watch;
+  obs_tasksets.inc();
+
   const auto emit = [&](Disagreement d) {
+    obs_disagreements.inc();
     if (out != nullptr) out->push_back(std::move(d));
   };
   const auto base_disagreement = [&](DisagreementKind kind) {
@@ -185,6 +203,11 @@ void DifferentialHarness::adjudicate(const TaskSet& ts, Device device,
         if (!accepted) ++cell.pessimism_samples;
       }
     }
+  }
+
+  if (timed) {
+    obs_latency.record(
+        static_cast<std::uint64_t>(adjudicate_watch.seconds() * 1e9));
   }
 }
 

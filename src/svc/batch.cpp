@@ -5,15 +5,45 @@
 
 #include "analysis/composite.hpp"
 #include "analysis/hash.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace reconf::svc {
 
 namespace {
 
+/// Serving-tier metric handles, resolved once per process (function-local
+/// statics; thread-safe init) — evaluate_with then pays relaxed increments
+/// and, while obs is enabled, two clock reads for the latency histogram.
+struct SvcMetrics {
+  obs::Counter& requests =
+      obs::MetricsRegistry::instance().counter("reconf_svc_requests_total");
+  obs::Counter& accepted =
+      obs::MetricsRegistry::instance().counter("reconf_svc_accepted_total");
+  obs::Counter& cache_hits = obs::MetricsRegistry::instance().counter(
+      "reconf_svc_cache_hits_total");
+  obs::Counter& cache_misses = obs::MetricsRegistry::instance().counter(
+      "reconf_svc_cache_misses_total");
+  obs::Histogram& latency_ns = obs::MetricsRegistry::instance().histogram(
+      "reconf_svc_request_latency_ns");
+
+  static const SvcMetrics& get() {
+    static const SvcMetrics metrics;
+    return metrics;
+  }
+};
+
 /// Core evaluation against a prebuilt engine: cache lookup keyed by
 /// (canonical taskset hash, engine fingerprint), analysis on miss.
 BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
                            const BatchRequest& request, VerdictCache* cache) {
+  const obs::Span request_span("svc.request", "svc");
+  const SvcMetrics& metrics = SvcMetrics::get();
+  const bool timed = obs::enabled();
+  Stopwatch latency_watch;
+  metrics.requests.inc();
+
   BatchVerdict out;
   out.id = request.id;
   if (engine.empty()) {
@@ -27,12 +57,20 @@ BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
   out.hash = verdict_cache_key(request.taskset, request.device, engine);
 
   if (cache != nullptr) {
+    const obs::Span lookup_span("cache.lookup", "cache");
     if (auto cached = cache->lookup(out.hash)) {
+      metrics.cache_hits.inc();
       out.cache_hit = true;
       out.accepted = cached->accepted;
       out.accepted_by = std::move(cached->accepted_by);
+      if (out.accepted) metrics.accepted.inc();
+      if (timed) {
+        metrics.latency_ns.record(
+            static_cast<std::uint64_t>(latency_watch.seconds() * 1e9));
+      }
       return out;
     }
+    metrics.cache_misses.inc();
   }
 
   if (!engine.request().diagnostics) {
@@ -55,6 +93,11 @@ BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
   }
   if (cache != nullptr) {
     cache->insert(out.hash, CachedVerdict{out.accepted, out.accepted_by});
+  }
+  if (out.accepted) metrics.accepted.inc();
+  if (timed) {
+    metrics.latency_ns.record(
+        static_cast<std::uint64_t>(latency_watch.seconds() * 1e9));
   }
   return out;
 }
@@ -96,6 +139,7 @@ BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
 std::vector<BatchVerdict> run_batch(std::span<const BatchRequest> requests,
                                     VerdictCache* cache, ThreadPool& pool,
                                     const BatchOptions& options) {
+  const obs::Span batch_span("svc.run_batch", "svc");
   // One shared engine serves every default-lineup request in the batch;
   // run() is thread-safe (stats cells are atomic). Custom lineups are
   // resolved once per distinct `tests` vector, up front — workers never

@@ -26,6 +26,10 @@ struct BatchRequest {
   /// analysis::UnknownAnalyzerError from the evaluation — the NDJSON codec
   /// validates at parse time so malformed requests never reach the pool.
   std::vector<std::string> tests;
+  /// True for a `{"id":...,"stats":true}` introspection request: no taskset
+  /// to analyze; the frontend answers with a metrics snapshot (see
+  /// svc/stats_surface.hpp) instead of routing it through the pipeline.
+  bool stats = false;
 };
 
 /// Per-analyzer slice of a freshly computed verdict, in execution order —

@@ -125,9 +125,26 @@ BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
       taskset_text = &val;
     } else if (key == "tests") {
       out.tests = parse_tests_array(val);
+    } else if (key == "stats") {
+      // Introspection request: only {"id":...,"stats":true} is valid.
+      // stats:false is rejected rather than treated as a no-op analysis
+      // request — the caller clearly meant something, and guessing which
+      // half is the same trap as a typo'd task key.
+      if (val.kind != JsonValue::Kind::kBool || !val.boolean) {
+        bad_request("stats must be the literal true");
+      }
+      out.stats = true;
     } else {
       bad_request("unknown key '" + key + "'");
     }
+  }
+
+  if (out.stats) {
+    if (device != nullptr || tasks != nullptr || taskset_text != nullptr ||
+        !out.tests.empty()) {
+      bad_request("'stats' excludes 'tasks'/'device'/'taskset'/'tests'");
+    }
+    return out;
   }
 
   if (taskset_text != nullptr) {

@@ -29,6 +29,7 @@ class CodecError : public std::runtime_error {
 ///   {"id":"r1","device":100,"tasks":[{"c":126,"d":700,"t":700,"a":9},...]}
 ///   {"id":"r2","taskset":"taskset v1\ndevice 100\ntask - 126 700 700 9\n"}
 ///   {"id":"r3","device":100,"tasks":[...],"tests":["dp","gn2"]}
+///   {"id":"r4","stats":true}
 ///
 /// Fields:
 ///   id       optional string (or integer, stringified); echoed in responses
@@ -42,6 +43,10 @@ class CodecError : public std::runtime_error {
 ///            (resolved via analysis::AnalyzerRegistry; an unknown id is
 ///            rejected here, with the registered ids listed, so it never
 ///            reaches the batch pipeline). Absent = the serving default.
+///   stats    the literal true: an introspection request answered with a
+///            live metrics snapshot (svc/stats_surface.hpp) instead of a
+///            verdict. Excludes every field but "id"; "stats":false is
+///            rejected.
 ///
 /// Unknown top-level or per-task keys are rejected — a typo'd "perid" must
 /// not silently analyze a default, for the same reason the analysis refuses

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "svc/verdict_cache.hpp"
+
+namespace reconf::svc {
+
+/// The serving tier's exposition glue: cache and pool accounting are kept in
+/// their owning objects (shard counters under shard mutexes, PoolStats
+/// atomics) rather than double-counted on the hot path; these helpers copy a
+/// snapshot into the process MetricsRegistry as gauges at exposition time —
+/// a `stats` NDJSON request or a --metrics-out dump — where a few mutex
+/// acquisitions are irrelevant.
+
+/// Publishes `reconf_cache_*` gauges: aggregate entries/capacity/hit-rate,
+/// the lookup-traffic imbalance across shards, and per-shard
+/// hits/misses/evictions/entries labelled `{shard="N"}`.
+void publish_cache_stats(const VerdictCache& cache);
+
+/// Publishes `reconf_pool_*` gauges: thread count, current and high-water
+/// queue depth, submitted/executed job counts, busy time and the worker
+/// utilization over `elapsed_seconds` of wall time (meaningful only while
+/// obs::enabled() — busy time is not accumulated otherwise).
+void publish_pool_stats(const ThreadPool& pool, double elapsed_seconds);
+
+/// Response line for a `{"id":...,"stats":true}` request:
+///   {"id":"...","stats":<MetricsRegistry json_snapshot>}
+/// Call the publish helpers first so the embedded gauges are current.
+[[nodiscard]] std::string format_stats_line(const std::string& id);
+
+}  // namespace reconf::svc

@@ -75,8 +75,39 @@ CacheStats VerdictCache::stats() const {
     out.misses += sh->misses;
     out.insertions += sh->insertions;
     out.evictions += sh->evictions;
+    out.entries += sh->lru.size();
   }
   return out;
+}
+
+std::vector<CacheStats> VerdictCache::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    CacheStats s;
+    s.hits = sh->hits;
+    s.misses = sh->misses;
+    s.insertions = sh->insertions;
+    s.evictions = sh->evictions;
+    s.entries = sh->lru.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
+double VerdictCache::load_imbalance() const {
+  const std::vector<CacheStats> per_shard = shard_stats();
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const CacheStats& s : per_shard) {
+    total += s.lookups();
+    peak = std::max(peak, s.lookups());
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(per_shard.size());
+  return static_cast<double>(peak) / mean;
 }
 
 std::size_t VerdictCache::size() const {

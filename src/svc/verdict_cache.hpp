@@ -23,12 +23,19 @@ struct CachedVerdict {
   std::string accepted_by;
 };
 
-/// Monotonic counters aggregated over all shards.
+/// Monotonic counters for one shard, or aggregated over all shards
+/// (VerdictCache::stats() vs shard_stats()).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Resident entries at snapshot time (not monotonic).
+  std::size_t entries = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return hits + misses;
+  }
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -66,6 +73,18 @@ class VerdictCache {
   void insert(std::uint64_t key, CachedVerdict verdict);
 
   [[nodiscard]] CacheStats stats() const;
+
+  /// Per-shard counters in shard-index order — the aggregate of stats()
+  /// hides imbalance (a hash flaw or adversarial key stream can pile
+  /// traffic onto one shard and serialize on its mutex; only the per-shard
+  /// view shows it).
+  [[nodiscard]] std::vector<CacheStats> shard_stats() const;
+
+  /// Lookup-traffic imbalance across shards: max over shards of
+  /// lookups(shard) / mean. 1.0 = perfectly balanced; the shard count =
+  /// fully serialized on one shard. 0.0 when no lookups yet.
+  [[nodiscard]] double load_imbalance() const;
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t shard_count() const noexcept {

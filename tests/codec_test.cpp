@@ -126,6 +126,27 @@ TEST(CodecParse, RejectsMalformedInput) {
                   "control character");
 }
 
+TEST(CodecParse, StatsRequestForm) {
+  const svc::BatchRequest r =
+      svc::parse_request_line(R"({"id":"s1","stats":true})");
+  EXPECT_EQ(r.id, "s1");
+  EXPECT_TRUE(r.stats);
+  EXPECT_TRUE(r.tests.empty());
+  // Analysis requests are not stats requests.
+  EXPECT_FALSE(svc::parse_request_line(
+                   R"({"device":10,"tasks":[{"c":1,"d":2,"t":2,"a":1}]})")
+                   .stats);
+}
+
+TEST(CodecParse, StatsRequestRejectsFalseAndMixing) {
+  expect_rejected(R"({"id":"s","stats":false})", "literal true");
+  expect_rejected(R"({"id":"s","stats":1})", "literal true");
+  expect_rejected(R"({"id":"s","stats":"yes"})", "literal true");
+  expect_rejected(R"({"stats":true,"device":10,"tasks":[]})", "excludes");
+  expect_rejected(R"({"stats":true,"taskset":"x"})", "excludes");
+  expect_rejected(R"({"stats":true,"tests":["dp"]})", "excludes");
+}
+
 TEST(CodecParse, TestsArrayRejectsUnknownAndMalformed) {
   expect_rejected(
       R"({"device":10,"tasks":[],"tests":["gnX"]})", "unknown analyzer 'gnX'");

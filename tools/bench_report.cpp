@@ -17,7 +17,13 @@
 //   * the log2(t(64)/t(32)) complexity exponent per series — the fast GN2
 //     sweep must stay visibly below the reference's ~3;
 //   * svc batch throughput (req/s) at 0% and 90% duplicate rates with the
-//     fast serving default, single-threaded for machine comparability.
+//     fast serving default, single-threaded for machine comparability;
+//   * latency percentiles (p50/p95/p99, nanoseconds) from the obs
+//     histograms: per-analyzer decide() latency in measured mode and the
+//     svc request latency over a mixed-duplicate stream. The ns/op and
+//     throughput series above run with obs DISABLED (baseline
+//     comparability — the committed baseline predates src/obs/); the
+//     percentile pass then re-enables it.
 //
 // The committed BENCH_perf.json at the repo root is the baseline this tool
 // last produced on the reference container; regenerate with
@@ -39,6 +45,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "gen/generator.hpp"
+#include "obs/metrics.hpp"
 #include "svc/batch.hpp"
 
 namespace {
@@ -190,8 +197,77 @@ std::vector<ServicePoint> run_service_bench(std::size_t requests) {
   return out;
 }
 
+struct Percentiles {
+  std::string name;  ///< "dp" / "gn1" / "gn2" / "svc_request"
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t count = 0;
+};
+
+Percentiles snapshot_percentiles(std::string name,
+                                 const std::string& histogram) {
+  const obs::HistogramSnapshot snap =
+      obs::MetricsRegistry::instance().histogram(histogram).snapshot();
+  return {std::move(name), snap.percentile(0.50), snap.percentile(0.95),
+          snap.percentile(0.99), snap.count};
+}
+
+/// Obs-enabled pass: populates and reads the latency histograms the serving
+/// tier exposes. Per-analyzer decide() latency needs measured mode (the
+/// serving default records no engine timings — see engine.cpp); the svc
+/// request histogram fills on the normal path, driven here by a short
+/// mixed-duplicate stream.
+std::vector<Percentiles> run_percentile_pass(std::size_t iters,
+                                             std::size_t requests) {
+  obs::set_enabled(true);
+  std::vector<Percentiles> out;
+  const Device dev{100};
+  for (const char* test : {"dp", "gn1", "gn2"}) {
+    analysis::AnalysisRequest request = analysis::fast_single_request(test);
+    request.measure = true;
+    const analysis::AnalysisEngine engine{std::move(request)};
+    const TaskSet ts = make_taskset(32, 0xBA5E + 32u);
+    for (std::size_t i = 0; i < iters; ++i) (void)engine.decide(ts, dev);
+    out.push_back(snapshot_percentiles(
+        test,
+        "reconf_engine_latency_ns{analyzer=\"" + std::string(test) + "\"}"));
+  }
+
+  std::vector<svc::BatchRequest> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    Xoshiro256ss rng(derive_seed(0x0B5EC0DE, i));
+    gen::GenRequest req;
+    req.profile = gen::GenProfile::unconstrained(12);
+    // Half the stream repeats 16 hot seeds — hit and miss latencies both
+    // land in the histogram, like real admission traffic.
+    req.seed = derive_seed(0x0B5EC0DE, rng.uniform01() < 0.5
+                                           ? i % 16
+                                           : i + (1u << 20));
+    req.target_system_util =
+        5.0 + 90.0 * static_cast<double>(i % 64) / 63.0;
+    req.target_tolerance = 2.0;
+    if (auto ts = gen::generate(req)) {
+      svc::BatchRequest r;
+      r.id = std::to_string(i);
+      r.device = dev;
+      r.taskset = std::move(*ts);
+      stream.push_back(std::move(r));
+    }
+  }
+  svc::VerdictCache cache(1 << 16);
+  ThreadPool workers(1);
+  const auto verdicts = svc::run_batch(stream, &cache, workers, {});
+  RECONF_ASSERT(verdicts.size() == stream.size());
+  out.push_back(
+      snapshot_percentiles("svc_request", "reconf_svc_request_latency_ns"));
+  return out;
+}
+
 std::string to_json(const std::vector<Series>& analysis,
-                    const std::vector<ServicePoint>& service, bool quick) {
+                    const std::vector<ServicePoint>& service,
+                    const std::vector<Percentiles>& percentiles, bool quick) {
   char buf[256];
   std::string json = "{\n  \"schema\": \"reconf-bench-perf/1\",\n";
   json += quick ? "  \"mode\": \"quick\",\n" : "  \"mode\": \"full\",\n";
@@ -241,6 +317,19 @@ std::string to_json(const std::vector<Series>& analysis,
                   i + 1 == service.size() ? "" : ",");
     json += buf;
   }
+  json += "  ],\n  \"latency_percentiles_ns\": [\n";
+  for (std::size_t i = 0; i < percentiles.size(); ++i) {
+    const Percentiles& p = percentiles[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"series\": \"%s\", \"count\": %llu, \"p50\": %llu, "
+                  "\"p95\": %llu, \"p99\": %llu}%s\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  static_cast<unsigned long long>(p.p50),
+                  static_cast<unsigned long long>(p.p95),
+                  static_cast<unsigned long long>(p.p99),
+                  i + 1 == percentiles.size() ? "" : ",");
+    json += buf;
+  }
   json += "  ]\n}\n";
   return json;
 }
@@ -267,12 +356,20 @@ int main(int argc, char** argv) {
   const double min_rep_ns = quick ? 2e6 : 2e7;
   const std::size_t requests = quick ? 2000 : 10000;
 
+  // Baseline series run with obs disabled: the committed BENCH_perf.json
+  // predates src/obs/, and the CI guardrails below must keep judging the
+  // bare kernels. The percentile pass re-enables it afterwards.
+  obs::set_enabled(false);
   std::fprintf(stderr, "bench_report: measuring analysis kernels...\n");
   const auto analysis_series = run_analysis_benches(reps, min_rep_ns);
   std::fprintf(stderr, "bench_report: measuring batch throughput...\n");
   const auto service = run_service_bench(requests);
+  std::fprintf(stderr, "bench_report: collecting latency percentiles...\n");
+  const auto percentiles =
+      run_percentile_pass(quick ? 500 : 5000, quick ? 500 : 2000);
 
-  const std::string json = to_json(analysis_series, service, quick);
+  const std::string json = to_json(analysis_series, service, percentiles,
+                                   quick);
   if (out_path == "-") {
     std::fputs(json.c_str(), stdout);
   } else {

@@ -6,6 +6,7 @@
 //   reconf_serve [<requests.ndjson>] [--threads=N] [--batch=N]
 //                [--cache-capacity=N] [--no-cache] [--shards=N]
 //                [--tests=LIST] [--fkf] [--explain] [--stats]
+//                [--metrics-out=PATH] [--trace-out=PATH]
 //
 //   --threads=N         worker threads for the batch pipeline (0 = cores)
 //   --batch=N           requests evaluated per pipeline wave (default 256;
@@ -25,6 +26,20 @@
 //                       answers the verdict only — identical verdicts, ~an
 //                       order of magnitude more throughput on misses
 //   --stats             print throughput and cache statistics to stderr
+//   --metrics-out=PATH  at exit, write every registered metric in the
+//                       Prometheus text exposition format to PATH
+//                       ("-" = stderr) — the file a scraper's textfile
+//                       collector picks up
+//   --trace-out=PATH    record spans (engine runs, analyzer invocations,
+//                       cache lookups, batch waves) for the whole process
+//                       and write Chrome trace-event JSON to PATH at exit;
+//                       load it in Perfetto (ui.perfetto.dev) or
+//                       chrome://tracing
+//
+// A request line of {"id":"...","stats":true} is answered in stream order
+// with a live metrics snapshot ({"id":...,"stats":{...}}) instead of a
+// verdict: per-analyzer verdict counters and latency percentiles, cache
+// hit/miss/imbalance gauges, pool utilization — see src/svc/stats_surface.hpp.
 //
 // Request/response format: see src/svc/codec.hpp. Malformed lines produce
 // an {"id":...,"error":...} response and the stream continues — one bad
@@ -44,8 +59,11 @@
 #include "analysis/registry.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/batch.hpp"
 #include "svc/codec.hpp"
+#include "svc/stats_surface.hpp"
 #include "svc/verdict_cache.hpp"
 
 namespace {
@@ -60,6 +78,7 @@ int usage() {
                "[--shards=N]\n"
                "                    [--tests=LIST] [--fkf] [--explain] "
                "[--stats]\n"
+               "                    [--metrics-out=PATH] [--trace-out=PATH]\n"
                "see the header of tools/reconf_serve.cpp for details\n");
   return 2;
 }
@@ -107,6 +126,32 @@ std::optional<long long> flag_int(const std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// Returns the value of `--name=V` as a string, empty when absent.
+std::string flag_str(const std::vector<std::string>& args,
+                     const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (const std::string& a : args) {
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return {};
+}
+
+/// Writes `text` to `path` ("-" = stderr); a failed open is reported but
+/// does not change the exit status — the verdicts already went out.
+void write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stderr);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return;
+  }
+  out << text;
+}
+
 bool has_flag(const std::vector<std::string>& args, const std::string& name) {
   const std::string bare = "--" + name;
   for (const std::string& a : args) {
@@ -148,7 +193,8 @@ int main(int argc, char** argv) {
                                     "--cache-capacity=", "--shards=",
                                     "--tests=",          "--no-cache",
                                     "--fkf",             "--stats",
-                                    "--explain"};
+                                    "--explain",         "--metrics-out=",
+                                    "--trace-out="};
       bool ok = false;
       for (const char* k : known) {
         const std::string key = k;
@@ -221,6 +267,10 @@ int main(int argc, char** argv) {
   }
   validate_default_lineup(options);
 
+  const std::string metrics_out = flag_str(args, "metrics-out");
+  const std::string trace_out = flag_str(args, "trace-out");
+  if (!trace_out.empty()) obs::Tracer::instance().start();
+
   Stopwatch clock;
   std::uint64_t served = 0;
   std::uint64_t errors = 0;
@@ -247,22 +297,30 @@ int main(int argc, char** argv) {
     pool.parallel_for(lines.size(),
                       [&](std::size_t i) { wave[i] = ingest(lines[i]); });
 
-    // Only well-formed lines enter the pipeline; responses are emitted in
-    // input order regardless of completion order.
+    // Only well-formed analysis lines enter the pipeline; responses are
+    // emitted in input order regardless of completion order. Stats requests
+    // are answered in their stream position but AFTER the wave's analysis —
+    // a snapshot taken mid-wave would race the workers for no benefit.
     std::vector<svc::BatchRequest> requests;
     for (PendingLine& p : wave) {
-      if (p.error.empty()) requests.push_back(std::move(p.request));
+      if (p.error.empty() && !p.request.stats) {
+        requests.push_back(std::move(p.request));
+      }
     }
     const auto verdicts =
         svc::run_batch(requests, cache_ptr, pool, options);
 
-    // `requests`/`verdicts` hold the well-formed lines in wave order, so a
-    // single cursor maps them back.
+    // `requests`/`verdicts` hold the well-formed analysis lines in wave
+    // order, so a single cursor maps them back.
     std::size_t next_verdict = 0;
     for (const PendingLine& p : wave) {
       if (!p.error.empty()) {
         std::cout << svc::format_error_line(p.id, p.error) << "\n";
         ++errors;
+      } else if (p.request.stats) {
+        svc::publish_cache_stats(cache);
+        svc::publish_pool_stats(pool, clock.seconds());
+        std::cout << svc::format_stats_line(p.id) << "\n";
       } else {
         const svc::BatchVerdict& v = verdicts[next_verdict];
         if (!v.error.empty()) {
@@ -302,6 +360,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.evictions),
                  100.0 * cs.hit_rate());
+  }
+  if (!metrics_out.empty()) {
+    svc::publish_cache_stats(cache);
+    svc::publish_pool_stats(pool, clock.seconds());
+    write_text_file(metrics_out,
+                    obs::MetricsRegistry::instance().prometheus_text(),
+                    "metrics");
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().stop();
+    write_text_file(trace_out, obs::Tracer::instance().chrome_json(),
+                    "trace");
   }
   return 0;
 }
