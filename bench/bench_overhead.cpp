@@ -55,13 +55,13 @@ int main() {
           n.fetch_add(1, std::memory_order_relaxed);
 
           analysis::OverheadModel model;
-          model.cost_per_column = rho;
+          model.cost.per_column = rho;
           const TaskSet inflated = analysis::inflate_for_overhead(*ts, model);
           const bool accepted = fkf_engine.decide(inflated, dev).accepted();
           if (accepted) analysis_acc.fetch_add(1, std::memory_order_relaxed);
 
           sim::SimConfig cfg = benchx::figure_sim_config();
-          cfg.reconfig_cost_per_column = rho;
+          cfg.reconf.per_column = rho;
           cfg.scheduler = sim::SchedulerKind::kEdfNf;
           const bool nf_ok = sim::simulate(*ts, dev, cfg).schedulable;
           cfg.scheduler = sim::SchedulerKind::kEdfFkF;

@@ -1,0 +1,278 @@
+// bench_runtime — machine-readable baseline for the online reconfiguration
+// runtime (src/rt/). Self-timed, no google-benchmark dependency.
+//
+//   bench_runtime [--out=PATH] [--merge=BENCH_perf.json] [--quick]
+//
+//   --out=PATH    write the standalone runtime report JSON; "-" (default)
+//                 prints to stdout only
+//   --merge=PATH  splice the report into an existing BENCH_perf.json as its
+//                 top-level "runtime" key (replacing any previous one) —
+//                 how the committed baseline at the repo root is refreshed:
+//                   ./build/bench_runtime --merge=BENCH_perf.json
+//   --quick       CI smoke sizing: fewer seeds per family
+//
+// Measurements, per (scenario family x prefetch policy) over a fixed seed
+// set (deterministic — the numbers move only when the runtime, generator or
+// analyzers change):
+//   * admit_rate        gate acceptances / gate attempts
+//   * admitted_util     mean peak admitted system utilization, normalized
+//                       by device area capacity (sigma A*C/T / W)
+//   * miss_rate         deadline misses / releases (zero-cost families must
+//                       hold this at exactly 0 — conformance, not tuning)
+//   * stall_hiding      hidden / (hidden + stalled) load ticks — the
+//                       prefetch acceptance bar: hybrid >= 0.5 on the
+//                       reconf-heavy family
+//   * admission_ns      mean wall nanoseconds per admission-gate attempt
+//   * run_us            mean wall microseconds per full scenario replay
+//
+// The zero-cost families (steady, churn) run under the no-prefetch policy
+// only — with nothing to load, every policy is identical on them. The
+// reconf-heavy family runs under all three policies; that comparison is
+// the prefetch story.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "rt/runtime.hpp"
+#include "rt/scenario.hpp"
+
+namespace {
+
+using namespace reconf;
+
+struct Cell {
+  rt::ScenarioFamily family = rt::ScenarioFamily::kSteady;
+  rt::PrefetchKind policy = rt::PrefetchKind::kNone;
+  int scenarios = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t misses = 0;
+  Ticks stalled = 0;
+  Ticks hidden = 0;
+  double util_sum = 0.0;       ///< sigma of per-scenario peak util / W
+  double admission_ns = 0.0;   ///< sigma wall ns inside the gate
+  double run_seconds = 0.0;    ///< sigma wall seconds per replay
+
+  [[nodiscard]] double admit_rate() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(admitted) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] double admitted_util() const {
+    return scenarios == 0 ? 0.0 : util_sum / scenarios;
+  }
+  [[nodiscard]] double miss_rate() const {
+    return releases == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(releases);
+  }
+  [[nodiscard]] double stall_hiding() const {
+    const double total =
+        static_cast<double>(hidden) + static_cast<double>(stalled);
+    return total == 0.0 ? 0.0 : static_cast<double>(hidden) / total;
+  }
+};
+
+Cell measure(rt::ScenarioFamily family, rt::PrefetchKind policy, int seeds,
+             int arrivals) {
+  Cell cell;
+  cell.family = family;
+  cell.policy = policy;
+  for (int seed = 0; seed < seeds; ++seed) {
+    rt::ScenarioGenOptions gen;
+    gen.family = family;
+    gen.seed = static_cast<std::uint64_t>(seed);
+    gen.arrivals = arrivals;
+    const rt::Scenario scenario = rt::generate_scenario(gen);
+
+    rt::RuntimeConfig config;
+    config.prefetch = policy;
+    config.record_trace = false;
+    config.check_invariants = false;
+
+    Stopwatch watch;
+    const rt::RuntimeResult r = rt::run_scenario(scenario, config);
+    cell.run_seconds += watch.seconds();
+
+    ++cell.scenarios;
+    cell.attempts += r.admitted + r.rejected;
+    cell.admitted += r.admitted;
+    cell.releases += r.releases;
+    cell.misses += r.deadline_misses;
+    cell.stalled += r.stall_ticks;
+    cell.hidden += r.hidden_ticks;
+    cell.util_sum += r.peak_admitted_system_util /
+                     static_cast<double>(scenario.device.width);
+    cell.admission_ns += static_cast<double>(r.admission_nanos);
+  }
+  return cell;
+}
+
+std::string cell_json(const Cell& c) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"family\": \"%s\", \"policy\": \"%s\", \"scenarios\": %d, "
+      "\"admit_rate\": %.3f, \"admitted_util\": %.3f, \"miss_rate\": %.4f, "
+      "\"stall_hiding\": %.3f, \"admission_ns\": %.0f, \"run_us\": %.0f}",
+      rt::to_string(c.family), rt::to_string(c.policy), c.scenarios,
+      c.admit_rate(), c.admitted_util(), c.miss_rate(), c.stall_hiding(),
+      c.attempts == 0 ? 0.0 : c.admission_ns / static_cast<double>(c.attempts),
+      c.scenarios == 0 ? 0.0 : c.run_seconds * 1e6 / c.scenarios);
+  return buf;
+}
+
+std::string report_json(const std::vector<Cell>& cells, int seeds) {
+  std::string out = "{\n    \"schema\": \"reconf-bench-runtime/1\",\n";
+  out += "    \"seeds_per_family\": " + std::to_string(seeds) + ",\n";
+  out += "    \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += "      " + cell_json(cells[i]);
+    if (i + 1 < cells.size()) out += ",";
+    out += "\n";
+  }
+  out += "    ]\n  }";
+  return out;
+}
+
+/// Splices `runtime_json` into `path` as the top-level "runtime" key.
+/// Replaces an existing "runtime" object (brace counting from its opening
+/// '{') or inserts before the file's final '}'.
+bool merge_into(const std::string& path, const std::string& runtime_json) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+
+  const std::string entry = "\"runtime\": " + runtime_json;
+  const std::size_t key = text.find("\"runtime\"");
+  if (key != std::string::npos) {
+    const std::size_t open = text.find('{', key);
+    if (open == std::string::npos) return false;
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '{') ++depth;
+      if (text[end] == '}' && --depth == 0) break;
+    }
+    if (depth != 0) return false;
+    text.replace(key, end + 1 - key, entry);
+  } else {
+    const std::size_t close = text.rfind('}');
+    if (close == std::string::npos) return false;
+    std::size_t tail = close;
+    while (tail > 0 && (text[tail - 1] == '\n' || text[tail - 1] == ' '))
+      --tail;
+    text.replace(tail, close - tail, ",\n  " + entry + "\n");
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+std::string flag_value(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return {};
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = has_flag(argc, argv, "quick");
+  const int seeds = quick ? 5 : 25;
+
+  std::vector<Cell> cells;
+  for (const rt::ScenarioFamily family :
+       {rt::ScenarioFamily::kSteady, rt::ScenarioFamily::kChurn}) {
+    cells.push_back(measure(family, rt::PrefetchKind::kNone, seeds,
+                            /*arrivals=*/10));
+  }
+  // The prefetch regime: sigma-areas exceed the fabric at 8 fat arrivals,
+  // so every release risks a cold configuration while some columns stay
+  // free to hide loads in (see runtime_test for the saturation cliff).
+  for (const rt::PrefetchKind policy :
+       {rt::PrefetchKind::kNone, rt::PrefetchKind::kStatic,
+        rt::PrefetchKind::kHybrid}) {
+    cells.push_back(measure(rt::ScenarioFamily::kReconfHeavy, policy, seeds,
+                            /*arrivals=*/8));
+  }
+
+  std::printf(
+      "family        policy   admit  util   miss     hiding  gate-ns  "
+      "run-us\n");
+  for (const Cell& c : cells) {
+    std::printf("%-13s %-8s %.3f  %.3f  %.4f   %.3f  %7.0f  %6.0f\n",
+                rt::to_string(c.family), rt::to_string(c.policy),
+                c.admit_rate(), c.admitted_util(), c.miss_rate(),
+                c.stall_hiding(),
+                c.attempts == 0
+                    ? 0.0
+                    : c.admission_ns / static_cast<double>(c.attempts),
+                c.scenarios == 0 ? 0.0 : c.run_seconds * 1e6 / c.scenarios);
+  }
+
+  const std::string json = report_json(cells, seeds);
+  const std::string out = flag_value(argc, argv, "out");
+  if (out.empty() || out == "-") {
+    std::printf("\n\"runtime\": %s\n", json.c_str());
+  } else {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << "{\n  \"runtime\": " << json << "\n}\n";
+  }
+
+  const std::string merge = flag_value(argc, argv, "merge");
+  if (!merge.empty()) {
+    if (!merge_into(merge, json)) return 1;
+    std::printf("merged runtime section into %s\n", merge.c_str());
+  }
+
+  // The acceptance bar rides along in exit status so CI can gate on it:
+  // hybrid must hide >= 50% of load time on the reconf-heavy family and
+  // the zero-cost families must be missless.
+  for (const Cell& c : cells) {
+    const bool zero_cost = c.family != rt::ScenarioFamily::kReconfHeavy;
+    if (zero_cost && c.misses != 0) {
+      std::fprintf(stderr, "FAIL: %s has misses under zero cost\n",
+                   rt::to_string(c.family));
+      return 1;
+    }
+    if (c.family == rt::ScenarioFamily::kReconfHeavy &&
+        c.policy == rt::PrefetchKind::kHybrid && c.stall_hiding() < 0.5) {
+      std::fprintf(stderr, "FAIL: hybrid stall hiding %.3f < 0.5\n",
+                   c.stall_hiding());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -90,12 +90,12 @@ int main() {
   for (const double rho_ms : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
     const Ticks rho = ticks_from_units(rho_ms);
     analysis::OverheadModel model;
-    model.cost_per_column = rho;
+    model.cost.per_column = rho;
     const TaskSet inflated = analysis::inflate_for_overhead(ts, model);
     const bool analysis_ok = any_engine.decide(inflated, fpga).accepted();
 
     sim::SimConfig ocfg;
-    ocfg.reconfig_cost_per_column = rho;
+    ocfg.reconf.per_column = rho;
     ocfg.horizon_periods = 100;
     const bool sim_ok = sim::simulate(ts, fpga, ocfg).schedulable;
     std::printf("  %-12.3f %-14s %-14s\n", rho_ms,

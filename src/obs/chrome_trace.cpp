@@ -1,0 +1,50 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+namespace reconf::obs {
+
+namespace {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::complete_event(std::string_view name,
+                                       std::string_view cat, double ts_us,
+                                       double dur_us, std::uint32_t tid,
+                                       std::string_view args_json) {
+  if (events_ > 0) out_ += ",";
+  ++events_;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                "\"tid\":%u",
+                ts_us, dur_us, tid);
+  out_ += "{\"name\":\"" + json_escape(name) + "\",\"cat\":\"" +
+          json_escape(cat) + buf;
+  if (!args_json.empty()) {
+    out_ += ",\"args\":";
+    out_.append(args_json.data(), args_json.size());
+  }
+  out_ += "}";
+}
+
+}  // namespace reconf::obs

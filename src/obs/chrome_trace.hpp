@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reconf::obs {
+
+/// Incremental writer for the Chrome trace-event JSON format ("X" complete
+/// events with explicit microsecond timestamps), loadable in Perfetto
+/// (https://ui.perfetto.dev) or chrome://tracing. The one serializer every
+/// trace export shares: obs::Tracer::chrome_json (wall-clock spans) and
+/// sim::chrome_trace_json (simulated tick timelines) both emit through it,
+/// so the two stay loadable by the same tooling by construction.
+class ChromeTraceWriter {
+ public:
+  ChromeTraceWriter() : out_("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[") {}
+
+  /// Appends one complete event. `name` and `cat` are JSON-escaped;
+  /// `args_json`, when non-empty, must be a complete JSON object and is
+  /// emitted verbatim as the event's "args".
+  void complete_event(std::string_view name, std::string_view cat,
+                      double ts_us, double dur_us, std::uint32_t tid,
+                      std::string_view args_json = {});
+
+  /// The finished document. The writer may keep appending afterwards; each
+  /// call re-closes the current event list.
+  [[nodiscard]] std::string json() const { return out_ + "]}"; }
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+
+ private:
+  std::string out_;
+  std::size_t events_ = 0;
+};
+
+}  // namespace reconf::obs

@@ -1,7 +1,8 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
-#include <cstdio>
+
+#include "obs/chrome_trace.hpp"
 
 namespace reconf::obs {
 
@@ -68,40 +69,13 @@ void Tracer::record(std::string_view name, const char* cat,
   buf.events.push_back(std::move(e));
 }
 
-namespace {
-
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size() + 2);
-  for (const char c : raw) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string Tracer::chrome_json() const {
   const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
-  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  bool first = true;
-  char buf[128];
+  ChromeTraceWriter writer;
   const std::lock_guard<std::mutex> lock(registry_mutex_);
   for (const auto& tb : buffers_) {
     const std::lock_guard<std::mutex> buf_lock(tb->mutex);
     for (const TraceEvent& e : tb->events) {
-      if (!first) out += ",";
-      first = false;
       // ts/dur are microseconds (doubles) in the trace-event format;
       // rebased so the trace starts near t=0. Events recorded with
       // explicit pre-epoch timestamps clamp to 0.
@@ -109,16 +83,11 @@ std::string Tracer::chrome_json() const {
           e.ts_ns >= epoch
               ? static_cast<double>(e.ts_ns - epoch) / 1e3
               : 0.0;
-      std::snprintf(buf, sizeof buf,
-                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
-                    "\"tid\":%u}",
-                    ts_us, static_cast<double>(e.dur_ns) / 1e3, tb->tid);
-      out += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
-             json_escape(e.cat) + "\"" + buf;
+      writer.complete_event(e.name, e.cat, ts_us,
+                            static_cast<double>(e.dur_ns) / 1e3, tb->tid);
     }
   }
-  out += "]}";
-  return out;
+  return writer.json();
 }
 
 std::uint64_t Tracer::dropped() const {

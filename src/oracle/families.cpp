@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "gen/generator.hpp"
 #include "gen/rng.hpp"
+#include "reconf/cost_model.hpp"
 
 namespace reconf::oracle {
 
@@ -196,7 +197,9 @@ FuzzCase heavy_tail_arbitrary_case(const FamilyRequest& r,
 FuzzCase reconf_heavy_case(const FamilyRequest& r, Xoshiro256ss& rng) {
   std::vector<Task> tasks;
   tasks.reserve(static_cast<std::size_t>(r.num_tasks));
-  const Ticks rho = rng.uniform_int(1, 4);  // ticks per occupied column
+  // Up to the shared reference ρ (reconf/cost_model.hpp) per occupied column.
+  const Ticks rho =
+      rng.uniform_int(1, ReconfCostModel::kDefaultPerColumnTicks);
   for (int i = 0; i < r.num_tasks; ++i) {
     Task t;
     t.area = static_cast<Area>(

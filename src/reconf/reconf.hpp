@@ -35,6 +35,12 @@
 // The svc/ layer (AdmissionSession, run_batch, NDJSON codec) serves engine
 // verdicts at scale behind a sharded LRU VerdictCache keyed by the
 // canonical taskset hash mixed with the engine fingerprint.
+//
+// The rt/ layer turns the analyzer into an online scheduler: rt::run_scenario
+// replays a timed arrival/departure/mode-change workload (rt/scenario.hpp)
+// through an admission gate, an EDF next-fit dispatcher and a prefetch-aware
+// reconfiguration port (rt/prefetch.hpp), with the shared reconfiguration
+// cost model (reconf/cost_model.hpp) charging every placement.
 
 #include "analysis/composite.hpp"
 #include "analysis/dp.hpp"
@@ -59,6 +65,10 @@
 #include "mp/mp_tests.hpp"
 #include "partition/partitioned.hpp"
 #include "placement/column_map.hpp"
+#include "reconf/cost_model.hpp"
+#include "rt/prefetch.hpp"
+#include "rt/runtime.hpp"
+#include "rt/scenario.hpp"
 #include "sim/engine.hpp"
 #include "sim/invariants.hpp"
 #include "svc/batch.hpp"

@@ -1,0 +1,765 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "sim/invariants.hpp"
+#include "svc/codec.hpp"
+#include "task/job.hpp"
+
+namespace reconf::rt {
+
+namespace {
+
+/// Pre-resolved process-wide metric handles (satellite of the obs layer):
+/// resolved once per run, written lock-free from the event loop, surfaced
+/// unchanged through the serving tier's {"stats":true} snapshot.
+struct RtMetrics {
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Histogram* admission_ns;
+  obs::Counter* releases;
+  obs::Counter* completions;
+  obs::Counter* misses;
+  obs::Counter* stall_ticks;
+  obs::Counter* hidden_ticks;
+  obs::Counter* loads_cold;
+  obs::Counter* loads_warm;
+  obs::Counter* loads_prefetch;
+  obs::Counter* prefetch_started;
+  obs::Counter* prefetch_completed;
+  obs::Counter* prefetch_aborted;
+  obs::Counter* evictions;
+
+  RtMetrics() {
+    auto& reg = obs::MetricsRegistry::instance();
+    admitted = &reg.counter("reconf_rt_admissions_total{verdict=\"admitted\"}");
+    rejected = &reg.counter("reconf_rt_admissions_total{verdict=\"rejected\"}");
+    admission_ns = &reg.histogram("reconf_rt_admission_latency_ns");
+    releases = &reg.counter("reconf_rt_releases_total");
+    completions = &reg.counter("reconf_rt_completions_total");
+    misses = &reg.counter("reconf_rt_deadline_misses_total");
+    stall_ticks = &reg.counter("reconf_rt_stall_ticks_total");
+    hidden_ticks = &reg.counter("reconf_rt_prefetch_hidden_ticks_total");
+    loads_cold = &reg.counter("reconf_rt_config_loads_total{kind=\"cold\"}");
+    loads_warm = &reg.counter("reconf_rt_config_loads_total{kind=\"warm\"}");
+    loads_prefetch =
+        &reg.counter("reconf_rt_config_loads_total{kind=\"prefetch\"}");
+    prefetch_started =
+        &reg.counter("reconf_rt_prefetch_total{event=\"started\"}");
+    prefetch_completed =
+        &reg.counter("reconf_rt_prefetch_total{event=\"completed\"}");
+    prefetch_aborted =
+        &reg.counter("reconf_rt_prefetch_total{event=\"aborted\"}");
+    evictions = &reg.counter("reconf_rt_evictions_total");
+  }
+};
+
+/// One admitted task generation. A mode change opens a new slot and drains
+/// the old one, so slots (and hence job task_index / trace rows) are
+/// append-only — the InvariantChecker sees a growing task table, never a
+/// mutated row.
+struct Slot {
+  Task task;
+  Ticks next_release = kNoTick;  ///< kNoTick = drained, never releases again
+  Ticks resume_release = kNoTick;  ///< saved across a rejected mode change
+  std::uint64_t sequence = 0;
+  int outstanding = 0;   ///< released, not yet completed/abandoned jobs
+  bool in_session = false;
+  bool resident = false;           ///< configuration loaded on the fabric
+  bool loaded_by_prefetch = false; ///< resident via the port, not yet used
+  TaskAccount acct;
+};
+
+struct ActiveJob {
+  Job job;
+  Ticks reconfig_remaining = 0;
+  bool load_charged = false;  ///< placement already accounted for this job
+  Area col_lo = 0;
+  Area col_hi = 0;
+  bool running = false;
+  bool was_running = false;
+};
+
+/// The single reconfiguration port (Resano et al.'s model: one load at a
+/// time, preemptible by demand).
+struct Port {
+  bool active = false;
+  std::size_t slot = 0;
+  Ticks remaining = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(const Scenario& scenario, const RuntimeConfig& config)
+      : scenario_(scenario),
+        config_(config),
+        device_(scenario.device),
+        reconf_(scenario.reconf),
+        session_(scenario.device, config.cache, config.admission),
+        policy_(config.policy) {
+    RECONF_EXPECTS(device_.valid());
+    RECONF_EXPECTS(scenario.horizon > 0);
+    if (policy_ == nullptr) {
+      owned_policy_ = make_prefetch_policy(config.prefetch);
+      policy_ = owned_policy_.get();
+    }
+    if (config_.check_invariants) {
+      checker_ = std::make_unique<sim::InvariantChecker>(
+          sim::SchedulerKind::kEdfNf,
+          sim::PlacementMode::kUnrestrictedMigration);
+    }
+    result_.scenario = scenario.name;
+    result_.horizon = scenario.horizon;
+  }
+
+  RuntimeResult run() {
+    Ticks now = 0;
+    const Ticks horizon = scenario_.horizon;
+    for (;;) {
+      process_events(now);
+      detect_misses(now);
+      if (now >= horizon) break;
+      release_jobs(now);
+      dispatch(now);
+      start_prefetch(now);
+      const Ticks next = next_event_time(now, horizon);
+      RECONF_ASSERT(next > now);
+      advance(now, next);
+      reap_completed(next);
+      now = next;
+    }
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] Ticks load_ticks(const Slot& s) const {
+    return reconf_.placement_ticks(s.task.area);
+  }
+
+  [[nodiscard]] Slot* find_releasing(const std::string& name) {
+    for (std::size_t i = slots_.size(); i-- > 0;) {
+      if (slots_[i].acct.name == name && slots_[i].next_release != kNoTick) {
+        return &slots_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  /// The admission gate: one try_admit (decide() underneath for fast
+  /// requests), latency and verdict metered, candidate set exposed to the
+  /// conformance probe.
+  svc::AdmissionDecision gate(const Task& t, Ticks at, EventKind kind) {
+    TaskSet candidate;
+    if (config_.admission_probe) {
+      std::vector<Task> tasks = session_.admitted();
+      tasks.push_back(t);
+      candidate = TaskSet(std::move(tasks));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    svc::AdmissionDecision d = session_.try_admit(t);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    result_.admission_nanos += ns;
+    metrics_.admission_ns->record(ns);
+    (d.admitted ? metrics_.admitted : metrics_.rejected)->inc();
+    if (d.admitted) {
+      ++result_.admitted;
+      result_.peak_admitted_system_util =
+          std::max(result_.peak_admitted_system_util,
+                   session_.admitted_set().system_utilization());
+    } else {
+      ++result_.rejected;
+    }
+    AdmissionRecord rec;
+    rec.at = at;
+    rec.kind = kind;
+    rec.name = t.name;
+    rec.admitted = d.admitted;
+    rec.cache_hit = d.cache_hit;
+    rec.accepted_by = d.accepted_by;
+    result_.admissions.push_back(std::move(rec));
+    if (config_.admission_probe) {
+      config_.admission_probe(candidate, device_, d);
+    }
+    return d;
+  }
+
+  std::size_t open_slot(const ScenarioEvent& e, const Task& t) {
+    Slot s;
+    s.task = t;
+    s.next_release = e.start == kNoTick ? e.at : e.start;
+    s.in_session = true;
+    s.acct.name = e.name;
+    s.acct.task = t;
+    s.acct.first_release = s.next_release;
+    slots_.push_back(std::move(s));
+    slot_tasks_.push_back(t);
+    ts_dirty_ = true;
+    return slots_.size() - 1;
+  }
+
+  void process_events(Ticks now) {
+    const auto& events = scenario_.events;
+    while (next_event_ < events.size() && events[next_event_].at <= now) {
+      const ScenarioEvent& e = events[next_event_++];
+      Task t = e.task;
+      t.name = e.name;
+      switch (e.kind) {
+        case EventKind::kArrive: {
+          if (find_releasing(e.name) != nullptr) {
+            ++result_.ignored_events;  // name still live: ambiguous, skip
+            break;
+          }
+          if (gate(t, e.at, e.kind).admitted) open_slot(e, t);
+          break;
+        }
+        case EventKind::kDepart: {
+          Slot* s = find_releasing(e.name);
+          if (s == nullptr) {
+            // Departure of a task the gate rejected (or that already left):
+            // nothing to drain. Scenarios are written before admission
+            // verdicts are known, so this is a counted no-op, not an error.
+            ++result_.ignored_events;
+            break;
+          }
+          s->next_release = kNoTick;  // drain: outstanding jobs finish
+          settle_departures();
+          break;
+        }
+        case EventKind::kModeChange: {
+          Slot* old = find_releasing(e.name);
+          if (old == nullptr) {
+            ++result_.ignored_events;
+            break;
+          }
+          // Conservative gate: the new generation must be admissible
+          // *alongside* the draining old one — the analysis set covers the
+          // transient union, so deadlines already guaranteed stay
+          // guaranteed. Rejection leaves the old generation untouched.
+          if (gate(t, e.at, e.kind).admitted) {
+            old->next_release = kNoTick;
+            settle_departures();
+            open_slot(e, t);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void detect_misses(Ticks now) {
+    for (std::size_t i = 0; i < active_.size();) {
+      ActiveJob& a = active_[i];
+      if (!a.job.finished() && a.job.abs_deadline <= now) {
+        Slot& s = slots_[a.job.task_index];
+        ++result_.deadline_misses;
+        ++s.acct.missed;
+        --s.outstanding;
+        metrics_.misses->inc();
+        // The late job is abandoned at its deadline, as in the simulator's
+        // continue mode; its area frees at the next dispatch.
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+    settle_departures();
+  }
+
+  void release_jobs(Ticks now) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      while (s.next_release != kNoTick && s.next_release <= now) {
+        ActiveJob a;
+        a.job.task_index = i;
+        a.job.sequence = s.sequence++;
+        a.job.release = s.next_release;
+        a.job.abs_deadline = s.next_release + s.task.deadline;
+        a.job.remaining = s.task.wcet;
+        a.job.area = s.task.area;
+        active_.push_back(a);
+        s.next_release += s.task.period;
+        ++s.outstanding;
+        ++s.acct.released;
+        ++result_.releases;
+        metrics_.releases->inc();
+      }
+    }
+  }
+
+  /// Charges (at most once per job) the placement of a job entering the
+  /// running set: nothing when its configuration is resident, the remaining
+  /// port time when the port is mid-load on it, the full load otherwise.
+  void on_enter_running(ActiveJob& a) {
+    if (a.load_charged) return;  // resumed after preemption, config kept
+    a.load_charged = true;
+    Slot& s = slots_[a.job.task_index];
+    const Ticks load = load_ticks(s);
+    if (s.resident) {
+      a.reconfig_remaining = 0;
+      if (load > 0) {
+        if (s.loaded_by_prefetch) {
+          ++result_.prefetch_hits;
+          result_.hidden_ticks += load;
+          s.acct.hidden_ticks += load;
+          metrics_.hidden_ticks->inc(static_cast<std::uint64_t>(load));
+          metrics_.loads_prefetch->inc();
+        } else {
+          ++result_.warm_hits;
+          metrics_.loads_warm->inc();
+        }
+      }
+      s.loaded_by_prefetch = false;
+      return;
+    }
+    Ticks stall = load;
+    if (port_.active && port_.slot == a.job.task_index) {
+      // Demand preempts the port: the in-flight prefetch becomes this job's
+      // (shortened) stall — a partial hide.
+      stall = port_.remaining;
+      port_.active = false;
+      ++result_.prefetch_partial;
+      result_.hidden_ticks += load - stall;
+      s.acct.hidden_ticks += load - stall;
+      metrics_.hidden_ticks->inc(static_cast<std::uint64_t>(load - stall));
+    } else if (load > 0) {
+      ++result_.cold_loads;
+      metrics_.loads_cold->inc();
+    }
+    a.reconfig_remaining = stall;
+    result_.stall_ticks += stall;
+    s.acct.stall_ticks += stall;
+    metrics_.stall_ticks->inc(static_cast<std::uint64_t>(stall));
+    s.resident = true;  // loading as part of the job's occupancy
+    s.loaded_by_prefetch = false;
+  }
+
+  /// Drops a resident configuration from the fabric. Only slots with no
+  /// *running* job are ever evicted; waiting jobs of the victim lose their
+  /// (possibly partial) load and will be recharged in full on re-entry.
+  void evict(std::size_t slot) {
+    Slot& s = slots_[slot];
+    RECONF_ASSERT(s.resident);
+    s.resident = false;
+    s.loaded_by_prefetch = false;
+    for (ActiveJob& a : active_) {
+      if (a.job.task_index == slot && !a.running) {
+        a.load_charged = false;
+        a.reconfig_remaining = 0;
+      }
+    }
+    ++result_.evictions;
+    metrics_.evictions->inc();
+  }
+
+  /// Enforces fabric capacity after a dispatch: running areas plus
+  /// idle-resident configurations plus the in-flight prefetch must fit in
+  /// A(H). Demand always wins — eviction order is pure cache (idle, no
+  /// outstanding jobs; farthest next release first), then the speculative
+  /// port load, then preempted jobs' kept configurations (least urgent
+  /// first). Idle configurations therefore never block a ready job, which
+  /// is what keeps the dispatch exactly EDF-NF work-conserving (Lemma 2).
+  void reconcile_residency(Area running_area) {
+    const auto has_running = [&](std::size_t slot) {
+      for (const ActiveJob& a : active_) {
+        if (a.running && a.job.task_index == slot) return true;
+      }
+      return false;
+    };
+    Area extra = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].resident && !has_running(i)) {
+        extra += slots_[i].task.area;
+      }
+    }
+    if (port_.active) extra += slots_[port_.slot].task.area;
+
+    while (running_area + extra > device_.width) {
+      // Pure cache victims: resident, idle, nothing outstanding.
+      std::optional<std::size_t> victim;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& s = slots_[i];
+        if (!s.resident || s.outstanding != 0) continue;
+        if (port_.active && port_.slot == i) continue;
+        if (!victim) {
+          victim = i;
+          continue;
+        }
+        // Farthest next release first (kNoTick — drained — farthest of
+        // all), ties by larger area, then higher slot, for determinism.
+        const Slot& v = slots_[*victim];
+        if (s.next_release != v.next_release) {
+          if (s.next_release > v.next_release) victim = i;
+        } else if (s.task.area != v.task.area) {
+          if (s.task.area > v.task.area) victim = i;
+        } else {
+          victim = i;
+        }
+      }
+      if (victim) {
+        extra -= slots_[*victim].task.area;
+        evict(*victim);
+        continue;
+      }
+      if (port_.active) {
+        extra -= slots_[port_.slot].task.area;
+        port_.active = false;
+        ++result_.prefetch_aborted;
+        metrics_.prefetch_aborted->inc();
+        continue;
+      }
+      // Last resort: preempted jobs' kept configurations, least urgent
+      // (latest earliest-deadline) first.
+      std::optional<std::size_t> waiting;
+      Ticks waiting_key = std::numeric_limits<Ticks>::min();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& s = slots_[i];
+        if (!s.resident || has_running(i)) continue;
+        Ticks key = std::numeric_limits<Ticks>::max();
+        for (const ActiveJob& a : active_) {
+          if (a.job.task_index == i && !a.running) {
+            key = std::min(key, a.job.abs_deadline);
+          }
+        }
+        if (key == std::numeric_limits<Ticks>::max()) {
+          key = s.next_release == kNoTick
+                    ? std::numeric_limits<Ticks>::max() - 1
+                    : s.next_release;
+        }
+        if (!waiting || key > waiting_key ||
+            (key == waiting_key && i > *waiting)) {
+          waiting = i;
+          waiting_key = key;
+        }
+      }
+      RECONF_ASSERT(waiting.has_value());
+      extra -= slots_[*waiting].task.area;
+      evict(*waiting);
+    }
+  }
+
+  void dispatch(Ticks now) {
+    ++result_.dispatches;
+    std::sort(active_.begin(), active_.end(),
+              [](const ActiveJob& a, const ActiveJob& b) {
+                return edf_before(a.job, b.job);
+              });
+    // EDF next-fit under unrestricted migration: area-only admission,
+    // running jobs compacted left in priority order (sim::Engine's model).
+    Area used = 0;
+    Area cursor = 0;
+    for (ActiveJob& a : active_) {
+      if (used + a.job.area > device_.width) {
+        a.running = false;
+        continue;
+      }
+      used += a.job.area;
+      a.col_lo = cursor;
+      a.col_hi = cursor + a.job.area;
+      cursor += a.job.area;
+      const bool entering = !a.running;
+      a.running = true;
+      if (entering) on_enter_running(a);
+    }
+    for (const ActiveJob& a : active_) {
+      if (a.was_running && !a.running && !a.job.finished()) {
+        ++result_.preemptions;
+      }
+    }
+    reconcile_residency(used);
+    if (config_.observer != nullptr || checker_ != nullptr) {
+      notify_observers(now, used);
+    }
+  }
+
+  void notify_observers(Ticks now, Area occupied) {
+    if (ts_dirty_) {
+      ts_cache_ = TaskSet(slot_tasks_);
+      ts_dirty_ = false;
+    }
+    snapshot_jobs_.clear();
+    snapshot_running_.clear();
+    snapshot_jobs_.reserve(active_.size());
+    snapshot_running_.reserve(active_.size());
+    for (const ActiveJob& a : active_) {
+      snapshot_jobs_.push_back(a.job);
+      snapshot_running_.push_back(a.running ? 1 : 0);
+    }
+    sim::DispatchSnapshot snap;
+    snap.now = now;
+    snap.active = snapshot_jobs_;
+    snap.running = snapshot_running_;
+    snap.occupied = occupied;
+    if (config_.observer != nullptr) {
+      config_.observer->on_dispatch(snap, ts_cache_, device_);
+    }
+    if (checker_ != nullptr) {
+      checker_->on_dispatch(snap, ts_cache_, device_);
+    }
+  }
+
+  /// Offers the idle port to the policy: candidates are admitted,
+  /// still-releasing tasks whose configuration is absent and which have no
+  /// outstanding job (a waiting job is demand territory).
+  void start_prefetch(Ticks now) {
+    if (policy_ == nullptr || port_.active || reconf_.free()) return;
+    candidates_.clear();
+    candidate_slots_.clear();
+    Area running_area = 0;
+    for (const ActiveJob& a : active_) {
+      if (a.running) running_area += a.job.area;
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (s.resident || s.outstanding != 0) continue;
+      if (s.next_release == kNoTick || s.next_release <= now) continue;
+      const Ticks load = load_ticks(s);
+      if (load <= 0) continue;
+      PrefetchCandidate c;
+      c.slot = i;
+      c.next_release = s.next_release;
+      c.load_ticks = load;
+      c.deadline = s.task.deadline;
+      c.wcet = s.task.wcet;
+      c.area = s.task.area;
+      candidates_.push_back(c);
+      candidate_slots_.push_back(i);
+    }
+    if (candidates_.empty()) return;
+    PrefetchContext ctx;
+    ctx.now = now;
+    ctx.device_width = device_.width;
+    ctx.running_area = running_area;
+    ctx.candidates = candidates_;
+    const std::optional<std::size_t> pick = policy_->choose(ctx);
+    if (!pick || *pick >= candidates_.size()) return;
+    const PrefetchCandidate& c = candidates_[*pick];
+    const std::size_t slot = candidate_slots_[*pick];
+
+    // Make room, evicting only configurations needed later than the pick
+    // (or not at all). If that cannot free enough area, skip this round.
+    Area extra = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].resident && slots_[i].outstanding == 0) {
+        extra += slots_[i].task.area;
+      }
+    }
+    Area need = running_area + extra + c.area - device_.width;
+    if (need > 0) {
+      evictable_.clear();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& s = slots_[i];
+        if (!s.resident || s.outstanding != 0) continue;
+        if (s.next_release != kNoTick && s.next_release <= c.next_release) {
+          continue;  // sooner-needed: never sacrificed for a prefetch
+        }
+        evictable_.push_back(i);
+      }
+      std::sort(evictable_.begin(), evictable_.end(),
+                [&](std::size_t x, std::size_t y) {
+                  const Slot& a = slots_[x];
+                  const Slot& b = slots_[y];
+                  if (a.next_release != b.next_release) {
+                    return a.next_release > b.next_release;
+                  }
+                  return x > y;
+                });
+      Area freed = 0;
+      std::size_t take = 0;
+      while (take < evictable_.size() && freed < need) {
+        freed += slots_[evictable_[take++]].task.area;
+      }
+      if (freed < need) return;
+      for (std::size_t i = 0; i < take; ++i) evict(evictable_[i]);
+    }
+    port_.active = true;
+    port_.slot = slot;
+    port_.remaining = c.load_ticks;
+    ++result_.prefetch_started;
+    metrics_.prefetch_started->inc();
+  }
+
+  [[nodiscard]] Ticks next_event_time(Ticks now, Ticks horizon) const {
+    Ticks next = horizon;
+    if (next_event_ < scenario_.events.size()) {
+      next = std::min(next, scenario_.events[next_event_].at);
+    }
+    for (const Slot& s : slots_) {
+      if (s.next_release != kNoTick) next = std::min(next, s.next_release);
+    }
+    for (const ActiveJob& a : active_) {
+      if (a.running) {
+        next = std::min(next, now + a.reconfig_remaining + a.job.remaining);
+      }
+      if (!a.job.finished() && a.job.abs_deadline > now) {
+        next = std::min(next, a.job.abs_deadline);
+      }
+    }
+    if (port_.active) next = std::min(next, now + port_.remaining);
+    return next;
+  }
+
+  void advance(Ticks now, Ticks next) {
+    const Ticks dt = next - now;
+    Area occupied = 0;
+    for (ActiveJob& a : active_) {
+      if (!a.running) continue;
+      occupied += a.job.area;
+      Ticks t = now;
+      Ticks left = dt;
+      const Ticks stall = std::min(left, a.reconfig_remaining);
+      if (stall > 0) {
+        a.reconfig_remaining -= stall;
+        record_trace(a, t, t + stall, /*reconfiguring=*/true);
+        t += stall;
+        left -= stall;
+      }
+      const Ticks exec = std::min(left, a.job.remaining);
+      if (exec > 0) {
+        a.job.remaining -= exec;
+        record_trace(a, t, t + exec, /*reconfiguring=*/false);
+      }
+    }
+    result_.busy_area_time +=
+        static_cast<std::int64_t>(occupied) * static_cast<std::int64_t>(dt);
+    if (port_.active) {
+      port_.remaining -= std::min(dt, port_.remaining);
+      if (port_.remaining == 0) {
+        Slot& s = slots_[port_.slot];
+        s.resident = true;
+        s.loaded_by_prefetch = true;
+        port_.active = false;
+        ++result_.prefetch_completed;
+        metrics_.prefetch_completed->inc();
+      }
+    }
+  }
+
+  void record_trace(const ActiveJob& a, Ticks begin, Ticks end,
+                    bool reconfiguring) {
+    if (!config_.record_trace || begin >= end) return;
+    sim::TraceSegment seg;
+    seg.task_index = a.job.task_index;
+    seg.sequence = a.job.sequence;
+    seg.begin = begin;
+    seg.end = end;
+    seg.col_lo = a.col_lo;
+    seg.col_hi = a.col_hi;
+    seg.reconfiguring = reconfiguring;
+    result_.trace.add(seg);
+  }
+
+  void reap_completed(Ticks now) {
+    for (std::size_t i = 0; i < active_.size();) {
+      ActiveJob& a = active_[i];
+      if (a.running && a.job.finished() && a.reconfig_remaining == 0) {
+        Slot& s = slots_[a.job.task_index];
+        const Ticks response = now - a.job.release;
+        ++s.acct.completed;
+        s.acct.total_response += response;
+        s.acct.max_response = std::max(s.acct.max_response, response);
+        --s.outstanding;
+        ++result_.completions;
+        metrics_.completions->inc();
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      a.was_running = a.running;
+      ++i;
+    }
+    settle_departures();
+  }
+
+  /// Finalizes drains: a slot that stopped releasing and has no outstanding
+  /// job leaves the admission session — the analyzed set stays a superset
+  /// of the releasing set at every instant in between.
+  void settle_departures() {
+    for (Slot& s : slots_) {
+      if (s.in_session && s.next_release == kNoTick && s.outstanding == 0) {
+        const bool removed = session_.remove(s.task);
+        RECONF_ASSERT(removed);
+        s.in_session = false;
+      }
+    }
+  }
+
+  void finish() {
+    result_.tasks.reserve(slots_.size());
+    for (Slot& s : slots_) result_.tasks.push_back(std::move(s.acct));
+    if (checker_ != nullptr) {
+      result_.invariant_violations = checker_->violations();
+    }
+  }
+
+  const Scenario& scenario_;
+  const RuntimeConfig& config_;
+  Device device_;
+  ReconfCostModel reconf_;
+  svc::AdmissionSession session_;
+  PrefetchPolicy* policy_ = nullptr;
+  std::unique_ptr<PrefetchPolicy> owned_policy_;
+  std::unique_ptr<sim::InvariantChecker> checker_;
+  RtMetrics metrics_;
+
+  std::size_t next_event_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<Task> slot_tasks_;
+  TaskSet ts_cache_;
+  bool ts_dirty_ = false;
+  std::vector<ActiveJob> active_;
+  Port port_;
+
+  std::vector<Job> snapshot_jobs_;
+  std::vector<std::uint8_t> snapshot_running_;
+  std::vector<PrefetchCandidate> candidates_;
+  std::vector<std::size_t> candidate_slots_;
+  std::vector<std::size_t> evictable_;
+
+  RuntimeResult result_;
+};
+
+}  // namespace
+
+std::string RuntimeResult::summary_json() const {
+  std::string out = "{\"scenario\":\"" + svc::json_escape(scenario) + "\"";
+  out += ",\"horizon\":" + std::to_string(horizon);
+  out += ",\"admitted\":" + std::to_string(admitted);
+  out += ",\"rejected\":" + std::to_string(rejected);
+  out += ",\"releases\":" + std::to_string(releases);
+  out += ",\"completions\":" + std::to_string(completions);
+  out += ",\"misses\":" + std::to_string(deadline_misses);
+  out += ",\"stall_ticks\":" + std::to_string(stall_ticks);
+  out += ",\"hidden_ticks\":" + std::to_string(hidden_ticks);
+  out += ",\"cold_loads\":" + std::to_string(cold_loads);
+  out += ",\"warm_hits\":" + std::to_string(warm_hits);
+  out += ",\"prefetch_hits\":" + std::to_string(prefetch_hits);
+  out += ",\"prefetch_partial\":" + std::to_string(prefetch_partial);
+  out += ",\"prefetch\":{\"started\":" + std::to_string(prefetch_started);
+  out += ",\"completed\":" + std::to_string(prefetch_completed);
+  out += ",\"aborted\":" + std::to_string(prefetch_aborted) + "}";
+  out += ",\"evictions\":" + std::to_string(evictions);
+  out += ",\"ignored_events\":" + std::to_string(ignored_events);
+  out += ",\"invariant_violations\":" +
+         std::to_string(invariant_violations.size());
+  out += "}";
+  return out;
+}
+
+RuntimeResult run_scenario(const Scenario& scenario,
+                           const RuntimeConfig& config) {
+  Runtime runtime(scenario, config);
+  return runtime.run();
+}
+
+}  // namespace reconf::rt

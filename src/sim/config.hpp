@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "placement/column_map.hpp"
+#include "reconf/cost_model.hpp"
 
 namespace reconf::sim {
 
@@ -64,10 +65,13 @@ struct SimConfig {
   /// in SimResult::invariant_violations.
   bool check_invariants = false;
 
-  /// Reconfiguration overhead ρ per column: every placement of task τi
-  /// stalls it for ρ·A_i ticks while it occupies its area (Section 1
-  /// discussion / future work). 0 reproduces the paper's assumption.
-  Ticks reconfig_cost_per_column = 0;
+  /// Reconfiguration overhead: every placement of task τi stalls it for
+  /// reconf.placement_ticks(A_i) ticks while it occupies its area
+  /// (Section 1 discussion / future work). The default (free) model
+  /// reproduces the paper's zero-overhead assumption. Shared with the
+  /// online runtime and the analysis-side inflation — see
+  /// reconf/cost_model.hpp.
+  ReconfCostModel reconf;
 
   /// EDF-US[ζ]: a task is "heavy" if A_i·C_i/T_i > ζ·A(H).
   double edf_us_threshold = 0.5;

@@ -171,8 +171,7 @@ class Engine {
   void charge_placement(ActiveJob& a, bool relocated) {
     ++result_.placements;
     if (relocated) ++result_.relocations;
-    a.reconfig_remaining =
-        config_.reconfig_cost_per_column * static_cast<Ticks>(a.job.area);
+    a.reconfig_remaining = config_.reconf.placement_ticks(a.job.area);
   }
 
   /// Recomputes the running set at `now` per the configured scheduler and

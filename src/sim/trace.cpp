@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace reconf::sim {
 
@@ -72,6 +73,26 @@ std::string Trace::render_gantt(const TaskSet& ts, Ticks horizon,
     os << '|' << row << "|\n";
   }
   return os.str();
+}
+
+std::string chrome_trace_json(const Trace& trace, const TaskSet& ts) {
+  obs::ChromeTraceWriter writer;
+  for (const TraceSegment& s : trace.segments()) {
+    const std::string name =
+        s.task_index < ts.size() && !ts[s.task_index].name.empty()
+            ? ts[s.task_index].name
+            : "tau" + std::to_string(s.task_index + 1);
+    const std::string args =
+        "{\"job\":" + std::to_string(s.sequence) +
+        ",\"col_lo\":" + std::to_string(s.col_lo) +
+        ",\"col_hi\":" + std::to_string(s.col_hi) + "}";
+    writer.complete_event(name + "/j" + std::to_string(s.sequence),
+                          s.reconfiguring ? "reconf" : "exec",
+                          static_cast<double>(s.begin),
+                          static_cast<double>(s.end - s.begin),
+                          static_cast<std::uint32_t>(s.task_index + 1), args);
+  }
+  return writer.json();
 }
 
 }  // namespace reconf::sim

@@ -46,4 +46,12 @@ class Trace {
   std::vector<TraceSegment> segments_;
 };
 
+/// The trace as Chrome trace-event JSON through the shared
+/// obs::ChromeTraceWriter (one timeline row per task, 1 tick = 1 µs for
+/// display; executing segments under cat "exec", reconfiguration stalls
+/// under "reconf", column placement in each event's args). Loadable in
+/// Perfetto alongside obs::Tracer::chrome_json exports.
+[[nodiscard]] std::string chrome_trace_json(const Trace& trace,
+                                            const TaskSet& ts);
+
 }  // namespace reconf::sim

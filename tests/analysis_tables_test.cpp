@@ -258,7 +258,7 @@ TEST(EdgeCases, Gn1HandlesConstrainedDeadlines) {
 TEST(Overhead, InflationMatchesModel) {
   const TaskSet ts = paper_table1();
   OverheadModel model;
-  model.cost_per_column = 2;  // 0.02 units per column
+  model.cost.per_column = 2;  // 0.02 units per column
   const TaskSet inflated = inflate_for_overhead(ts, model);
   EXPECT_EQ(inflated[0].wcet, 126 + 2 * 9);
   EXPECT_EQ(inflated[1].wcet, 95 + 2 * 6);
@@ -266,7 +266,7 @@ TEST(Overhead, InflationMatchesModel) {
 
 TEST(Overhead, InflationOnlyReducesAcceptance) {
   OverheadModel model;
-  model.cost_per_column = 5;
+  model.cost.per_column = 5;
   for (const TaskSet& ts : {paper_table1(), paper_table2(), paper_table3()}) {
     const TaskSet inflated = inflate_for_overhead(ts, model);
     // If the inflated set passes a test, the original must too (monotonicity

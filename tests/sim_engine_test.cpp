@@ -246,7 +246,7 @@ TEST(SimEngine, ReconfigOverheadDelaysExecution) {
   // C=2 (200 ticks), A=4, ρ=10 ticks/column → 40 ticks stall per placement.
   const TaskSet ts({make_task(2, 5, 5, 4)});
   SimConfig cfg = nf_config();
-  cfg.reconfig_cost_per_column = 10;
+  cfg.reconf.per_column = 10;
   cfg.horizon = 500;
   cfg.record_trace = true;
   const SimResult r = simulate(ts, Device{10}, cfg);
@@ -259,7 +259,7 @@ TEST(SimEngine, ReconfigOverheadCanCauseMisses) {
   // C=4.5 of a 5-unit deadline: a 60-tick stall (ρ=15 × A=4) overruns.
   const TaskSet ts({make_task(4.5, 5, 5, 4)});
   SimConfig cfg = nf_config();
-  cfg.reconfig_cost_per_column = 15;
+  cfg.reconf.per_column = 15;
   const SimResult r = simulate(ts, Device{10}, cfg);
   EXPECT_FALSE(r.schedulable);
 }

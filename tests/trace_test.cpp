@@ -80,7 +80,7 @@ TEST(Trace, GanttMarksReconfiguration) {
   const TaskSet ts({make_task(2, 5, 5, 4)});
   SimConfig cfg;
   cfg.record_trace = true;
-  cfg.reconfig_cost_per_column = 20;  // 80-tick stall, visible at 50 cols
+  cfg.reconf.per_column = 20;  // 80-tick stall, visible at 50 cols
   cfg.horizon = 500;
   const auto r = simulate(ts, Device{10}, cfg);
   const std::string gantt = r.trace.render_gantt(ts, 500, 50);

@@ -174,7 +174,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
     cfg.horizon_periods = std::stoi(*h);
   }
   if (const auto r = flag_value(args, "rho")) {
-    cfg.reconfig_cost_per_column = std::stoll(*r);
+    cfg.reconf.per_column = std::stoll(*r);
   }
   if (const auto a = flag_value(args, "arrivals")) {
     if (*a == "sporadic") cfg.arrivals = sim::ArrivalModel::kSporadic;
