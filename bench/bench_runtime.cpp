@@ -25,6 +25,14 @@
 //   * admission_ns      mean wall nanoseconds per admission-gate attempt
 //   * run_us            mean wall microseconds per full scenario replay
 //
+// The "fault" section benches the recovery path (src/fault/ + the runtime's
+// recovery policies): reconf-heavy scenarios replayed under a generated
+// fault plan once per overrun action, against the fault-free replay of the
+// same scenarios. `overhead` is run_us / fault-free run_us — the price of
+// injection + recovery; the fault-free path itself carries no injector in
+// the loop (config.faults == nullptr short-circuits), which the plain cells
+// above keep honest.
+//
 // The zero-cost families (steady, churn) run under the no-prefetch policy
 // only — with nothing to load, every policy is identical on them. The
 // reconf-heavy family runs under all three policies; that comparison is
@@ -38,6 +46,7 @@
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "fault/plan.hpp"
 #include "rt/runtime.hpp"
 #include "rt/scenario.hpp"
 
@@ -141,10 +150,129 @@ std::string report_json(const std::vector<Cell>& cells, int seeds) {
   return out;
 }
 
-/// Splices `runtime_json` into `path` as the top-level "runtime" key.
-/// Replaces an existing "runtime" object (brace counting from its opening
-/// '{') or inserts before the file's final '}'.
-bool merge_into(const std::string& path, const std::string& runtime_json) {
+/// The recovery-path cell: reconf-heavy scenarios replayed under a generated
+/// fault plan with one fixed overrun action. The fault-free replay of the
+/// same scenarios (same prefetch policy) is the overhead denominator.
+struct FaultCell {
+  rt::OverrunAction action = rt::OverrunAction::kAbort;
+  int scenarios = 0;
+  std::uint64_t overruns = 0;
+  std::uint64_t port_failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t fabric = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t post_shed_misses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t releases = 0;
+  double run_seconds = 0.0;
+  double baseline_seconds = 0.0;
+
+  [[nodiscard]] double miss_rate() const {
+    return releases == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(releases);
+  }
+  [[nodiscard]] double overhead() const {
+    return baseline_seconds == 0.0 ? 0.0 : run_seconds / baseline_seconds;
+  }
+};
+
+std::vector<std::string> arrival_names(const rt::Scenario& scenario) {
+  std::vector<std::string> names;
+  for (const rt::ScenarioEvent& e : scenario.events) {
+    if (e.kind != rt::EventKind::kArrive) continue;
+    bool known = false;
+    for (const std::string& n : names) known = known || n == e.name;
+    if (!known) names.push_back(e.name);
+  }
+  return names;
+}
+
+FaultCell measure_fault(rt::OverrunAction action, int seeds, int arrivals) {
+  FaultCell cell;
+  cell.action = action;
+  for (int seed = 0; seed < seeds; ++seed) {
+    rt::ScenarioGenOptions gen;
+    gen.family = rt::ScenarioFamily::kReconfHeavy;
+    gen.seed = static_cast<std::uint64_t>(seed);
+    gen.arrivals = arrivals;
+    const rt::Scenario scenario = rt::generate_scenario(gen);
+
+    fault::FaultPlanGenOptions pgen;
+    pgen.horizon = scenario.horizon;
+    pgen.names = arrival_names(scenario);
+    pgen.faults = 8;
+    pgen.seed = static_cast<std::uint64_t>(seed);
+    const fault::FaultPlan plan = fault::generate_fault_plan(pgen);
+
+    rt::RuntimeConfig config;
+    config.prefetch = rt::PrefetchKind::kHybrid;
+    config.record_trace = false;
+    config.check_invariants = false;
+
+    Stopwatch base_watch;
+    const rt::RuntimeResult base = rt::run_scenario(scenario, config);
+    cell.baseline_seconds += base_watch.seconds();
+    (void)base;
+
+    config.faults = &plan;
+    config.recovery.overrun = action;
+
+    Stopwatch watch;
+    const rt::RuntimeResult r = rt::run_scenario(scenario, config);
+    cell.run_seconds += watch.seconds();
+
+    ++cell.scenarios;
+    cell.overruns += r.faults.wcet_overruns;
+    cell.port_failures += r.faults.port_failures;
+    cell.retries += r.faults.load_retries;
+    cell.fabric += r.faults.fabric_faults;
+    cell.sheds += r.faults.sheds;
+    cell.post_shed_misses += r.faults.post_shed_misses;
+    cell.misses += r.deadline_misses;
+    cell.releases += r.releases;
+  }
+  return cell;
+}
+
+std::string fault_cell_json(const FaultCell& c) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"action\": \"%s\", \"scenarios\": %d, \"overruns\": %llu, "
+      "\"port_failures\": %llu, \"retries\": %llu, \"fabric\": %llu, "
+      "\"sheds\": %llu, \"post_shed_misses\": %llu, \"miss_rate\": %.4f, "
+      "\"overhead\": %.3f, \"run_us\": %.0f}",
+      rt::to_string(c.action), c.scenarios,
+      static_cast<unsigned long long>(c.overruns),
+      static_cast<unsigned long long>(c.port_failures),
+      static_cast<unsigned long long>(c.retries),
+      static_cast<unsigned long long>(c.fabric),
+      static_cast<unsigned long long>(c.sheds),
+      static_cast<unsigned long long>(c.post_shed_misses), c.miss_rate(),
+      c.overhead(),
+      c.scenarios == 0 ? 0.0 : c.run_seconds * 1e6 / c.scenarios);
+  return buf;
+}
+
+std::string fault_report_json(const std::vector<FaultCell>& cells, int seeds) {
+  std::string out = "{\n    \"schema\": \"reconf-bench-fault/1\",\n";
+  out += "    \"seeds_per_action\": " + std::to_string(seeds) + ",\n";
+  out += "    \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += "      " + fault_cell_json(cells[i]);
+    if (i + 1 < cells.size()) out += ",";
+    out += "\n";
+  }
+  out += "    ]\n  }";
+  return out;
+}
+
+/// Splices `section_json` into `path` as the top-level `key`. Replaces an
+/// existing object of that key (brace counting from its opening '{') or
+/// inserts before the file's final '}'.
+bool merge_into(const std::string& path, const std::string& key_name,
+                const std::string& section_json) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -154,8 +282,9 @@ bool merge_into(const std::string& path, const std::string& runtime_json) {
   ss << in.rdbuf();
   std::string text = ss.str();
 
-  const std::string entry = "\"runtime\": " + runtime_json;
-  const std::size_t key = text.find("\"runtime\"");
+  const std::string quoted = "\"" + key_name + "\"";
+  const std::string entry = quoted + ": " + section_json;
+  const std::size_t key = text.find(quoted);
   if (key != std::string::npos) {
     const std::size_t open = text.find('{', key);
     if (open == std::string::npos) return false;
@@ -224,6 +353,17 @@ int main(int argc, char** argv) {
                             /*arrivals=*/8));
   }
 
+  // The recovery-path cells: one per overrun action, all on the
+  // reconf-heavy family under hybrid prefetch with a generated 8-event
+  // plan per scenario. Deliberately separate from `cells` so the
+  // fault-free numbers above never route through the injector.
+  std::vector<FaultCell> fault_cells;
+  for (const rt::OverrunAction action :
+       {rt::OverrunAction::kAbort, rt::OverrunAction::kSkipNext,
+        rt::OverrunAction::kDegrade}) {
+    fault_cells.push_back(measure_fault(action, seeds, /*arrivals=*/8));
+  }
+
   std::printf(
       "family        policy   admit  util   miss     hiding  gate-ns  "
       "run-us\n");
@@ -237,24 +377,41 @@ int main(int argc, char** argv) {
                     : c.admission_ns / static_cast<double>(c.attempts),
                 c.scenarios == 0 ? 0.0 : c.run_seconds * 1e6 / c.scenarios);
   }
+  std::printf(
+      "\nfault action  overruns ports  retries  sheds  miss     overhead  "
+      "run-us\n");
+  for (const FaultCell& c : fault_cells) {
+    std::printf("%-13s %8llu %5llu %8llu %6llu  %.4f   %.3fx  %7.0f\n",
+                rt::to_string(c.action),
+                static_cast<unsigned long long>(c.overruns),
+                static_cast<unsigned long long>(c.port_failures),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.sheds), c.miss_rate(),
+                c.overhead(),
+                c.scenarios == 0 ? 0.0 : c.run_seconds * 1e6 / c.scenarios);
+  }
 
   const std::string json = report_json(cells, seeds);
+  const std::string fault_json = fault_report_json(fault_cells, seeds);
   const std::string out = flag_value(argc, argv, "out");
   if (out.empty() || out == "-") {
     std::printf("\n\"runtime\": %s\n", json.c_str());
+    std::printf("\n\"fault\": %s\n", fault_json.c_str());
   } else {
     std::ofstream f(out);
     if (!f) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
       return 1;
     }
-    f << "{\n  \"runtime\": " << json << "\n}\n";
+    f << "{\n  \"runtime\": " << json << ",\n  \"fault\": " << fault_json
+      << "\n}\n";
   }
 
   const std::string merge = flag_value(argc, argv, "merge");
   if (!merge.empty()) {
-    if (!merge_into(merge, json)) return 1;
-    std::printf("merged runtime section into %s\n", merge.c_str());
+    if (!merge_into(merge, "runtime", json)) return 1;
+    if (!merge_into(merge, "fault", fault_json)) return 1;
+    std::printf("merged runtime + fault sections into %s\n", merge.c_str());
   }
 
   // The acceptance bar rides along in exit status so CI can gate on it:
@@ -271,6 +428,21 @@ int main(int argc, char** argv) {
         c.policy == rt::PrefetchKind::kHybrid && c.stall_hiding() < 0.5) {
       std::fprintf(stderr, "FAIL: hybrid stall hiding %.3f < 0.5\n",
                    c.stall_hiding());
+      return 1;
+    }
+  }
+  // Recovery bars: the generated plans must actually bite, and graceful
+  // degradation must protect the survivors it kept (the shed contract).
+  for (const FaultCell& c : fault_cells) {
+    if (c.overruns + c.port_failures + c.fabric == 0) {
+      std::fprintf(stderr, "FAIL: fault cell %s injected nothing\n",
+                   rt::to_string(c.action));
+      return 1;
+    }
+    if (c.action == rt::OverrunAction::kDegrade && c.post_shed_misses != 0) {
+      std::fprintf(stderr,
+                   "FAIL: degrade left %llu post-shed misses\n",
+                   static_cast<unsigned long long>(c.post_shed_misses));
       return 1;
     }
   }

@@ -1,0 +1,81 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace reconf::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      consumed_(plan.events.size(), false),
+      fails_left_(plan.events.size(), 0),
+      slow_counted_(plan.events.size(), false) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (plan_.events[i].kind == FaultKind::kPortFail) {
+      fails_left_[i] = plan_.events[i].count;
+    }
+  }
+}
+
+Ticks FaultInjector::wcet_overrun(const std::string& name, Ticks release) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.at > release) break;  // events are time-ordered
+    if (consumed_[i] || e.kind != FaultKind::kWcetOverrun) continue;
+    if (e.name != name) continue;
+    consumed_[i] = true;
+    ++injected_.wcet_overruns;
+    return e.extra;
+  }
+  return 0;
+}
+
+bool FaultInjector::load_fails(Ticks now) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.at > now) break;
+    if (e.kind != FaultKind::kPortFail || fails_left_[i] <= 0) continue;
+    --fails_left_[i];
+    ++injected_.port_failures;
+    return true;
+  }
+  return false;
+}
+
+Ticks FaultInjector::load_factor(Ticks now) {
+  Ticks factor = 1;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.at > now) break;
+    if (e.kind != FaultKind::kPortSlow || now >= e.until) continue;
+    if (e.factor > factor) factor = e.factor;
+    if (!slow_counted_[i]) {
+      slow_counted_[i] = true;
+      ++injected_.port_slow_events;
+    }
+  }
+  return factor;
+}
+
+std::vector<const FaultEvent*> FaultInjector::take_fabric_faults(Ticks now) {
+  std::vector<const FaultEvent*> out;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.at > now) break;
+    if (consumed_[i] || e.kind != FaultKind::kFabric) continue;
+    consumed_[i] = true;
+    ++injected_.fabric_faults;
+    out.push_back(&e);
+  }
+  return out;
+}
+
+Ticks FaultInjector::next_fabric_at(Ticks now) const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind != FaultKind::kFabric || consumed_[i]) continue;
+    if (e.at > now) return e.at;
+  }
+  return kNoTick;
+}
+
+}  // namespace reconf::fault

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/plan.hpp"
+
+namespace reconf::fault {
+
+/// Counts of faults that actually fired (an event scheduled for a task that
+/// never releases, or a port-fail with no load to break, stays un-injected
+/// — the chaos harness conserves fired faults against recovery actions).
+struct InjectedCounts {
+  std::uint64_t wcet_overruns = 0;
+  std::uint64_t port_failures = 0;
+  std::uint64_t port_slow_events = 0;
+  std::uint64_t fabric_faults = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return wcet_overruns + port_failures + port_slow_events + fabric_faults;
+  }
+};
+
+/// Deterministic consumption of a FaultPlan by the runtime's event loop.
+/// The injector is a pure cursor over the plan: given the same sequence of
+/// queries (which the runtime's deterministic loop guarantees), it fires the
+/// same faults in the same order on every replay.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Extra ticks the job released by `name` at `release` wants beyond its
+  /// declared C; consumes the earliest unconsumed wcet event for `name` with
+  /// at <= release. 0 = no overrun scheduled.
+  [[nodiscard]] Ticks wcet_overrun(const std::string& name, Ticks release);
+
+  /// Whether the next load attempt (demand or prefetch) at `now` fails;
+  /// consumes one failure from the earliest armed port-fail event.
+  [[nodiscard]] bool load_fails(Ticks now);
+
+  /// Multiplier for a load performed at `now` (>= 1); port-slow windows
+  /// covering `now` apply, the largest factor winning. Counts each window
+  /// as injected the first time it slows a real load.
+  [[nodiscard]] Ticks load_factor(Ticks now);
+
+  /// Fabric faults scheduled at or before `now`, in plan order, each
+  /// consumed exactly once. Entries point into the plan.
+  [[nodiscard]] std::vector<const FaultEvent*> take_fabric_faults(Ticks now);
+
+  /// The earliest unconsumed fabric-fault time after `now`, or kNoTick —
+  /// the runtime folds this into its next-event computation so faults fire
+  /// on their tick, not at the next natural wakeup.
+  [[nodiscard]] Ticks next_fabric_at(Ticks now) const;
+
+  [[nodiscard]] const InjectedCounts& injected() const noexcept {
+    return injected_;
+  }
+
+ private:
+  const FaultPlan& plan_;
+  std::vector<bool> consumed_;       ///< wcet + fabric events
+  std::vector<int> fails_left_;      ///< per port-fail event
+  std::vector<bool> slow_counted_;   ///< per port-slow event
+  InjectedCounts injected_;
+};
+
+}  // namespace reconf::fault

@@ -8,6 +8,8 @@
 #include "gen/generator.hpp"
 #include "gen/rng.hpp"
 #include "reconf/cost_model.hpp"
+#include "rt/runtime.hpp"
+#include "rt/scenario.hpp"
 
 namespace reconf::oracle {
 
@@ -243,6 +245,58 @@ FuzzCase unit_area_case(const FamilyRequest& r, Xoshiro256ss& rng) {
   return {TaskSet{std::move(tasks)}, device};
 }
 
+FuzzCase runtime_miss_case(const FamilyRequest& r, Xoshiro256ss& rng) {
+  // Replay a reconfiguration-heavy scenario with the port unassisted (no
+  // prefetch) and harvest the admitted tasks live at the earliest deadline
+  // miss: a set the admission gate accepted but an execution missed with.
+  // These sit exactly on the sound/unsound boundary the oracle adjudicates.
+  rt::ScenarioGenOptions opt;
+  opt.family = rt::ScenarioFamily::kReconfHeavy;
+  opt.device = r.device;
+  opt.arrivals = std::clamp(r.num_tasks, 3, 8);
+  opt.seed = rng.next();
+  rt::RuntimeConfig config;
+  config.prefetch = rt::PrefetchKind::kNone;
+  config.record_trace = false;
+  config.check_invariants = false;
+  const rt::RuntimeResult result =
+      rt::run_scenario(rt::generate_scenario(opt), config);
+
+  Ticks miss_at = kNoTick;
+  for (const rt::TaskAccount& acct : result.tasks) {
+    if (acct.first_miss != kNoTick) miss_at = std::min(miss_at, acct.first_miss);
+  }
+  std::vector<Task> tasks;
+  if (miss_at != kNoTick) {
+    for (const rt::TaskAccount& acct : result.tasks) {
+      // Live at the miss: activated before it and not yet fully drained. A
+      // mode change opens a fresh account under the same name — keep the
+      // later generation (the parameters actually running at the miss).
+      if (acct.first_release == kNoTick || acct.first_release > miss_at ||
+          (acct.drained_at != kNoTick && acct.drained_at < miss_at)) {
+        continue;
+      }
+      Task t = acct.task;
+      t.name = acct.name;
+      const auto prior = std::find_if(
+          tasks.begin(), tasks.end(),
+          [&](const Task& existing) { return existing.name == t.name; });
+      if (prior != tasks.end()) {
+        *prior = std::move(t);
+      } else {
+        tasks.push_back(std::move(t));
+      }
+    }
+  }
+  if (tasks.size() < 2) {
+    // Scenario met every deadline (or drained to a singleton): fall back to
+    // the statically shaped reconf-heavy family so every seed still yields
+    // an input.
+    return reconf_heavy_case(r, rng);
+  }
+  return {TaskSet{std::move(tasks)}, r.device};
+}
+
 }  // namespace
 
 const char* to_string(FuzzFamily family) noexcept {
@@ -256,6 +310,7 @@ const char* to_string(FuzzFamily family) noexcept {
     case FuzzFamily::kHeavyTailArbitrary: return "heavy_tail_arbitrary";
     case FuzzFamily::kReconfHeavy: return "reconf_heavy";
     case FuzzFamily::kUnitArea: return "unit_area";
+    case FuzzFamily::kRuntimeMiss: return "runtime_miss";
   }
   return "?";
 }
@@ -273,7 +328,7 @@ const std::vector<FuzzFamily>& all_families() {
       FuzzFamily::kHarmonic,       FuzzFamily::kCoprime,
       FuzzFamily::kZeroLaxity,     FuzzFamily::kTightDeadline,
       FuzzFamily::kHeavyTailArbitrary, FuzzFamily::kReconfHeavy,
-      FuzzFamily::kUnitArea,
+      FuzzFamily::kUnitArea,           FuzzFamily::kRuntimeMiss,
   };
   return families;
 }
@@ -303,6 +358,9 @@ FuzzCase make_fuzz_case(const FamilyRequest& request) {
       out = reconf_heavy_case(request, rng);
       break;
     case FuzzFamily::kUnitArea: out = unit_area_case(request, rng); break;
+    case FuzzFamily::kRuntimeMiss:
+      out = runtime_miss_case(request, rng);
+      break;
   }
   RECONF_ENSURES(out.taskset.all_well_formed());
   RECONF_ENSURES(out.device.valid());

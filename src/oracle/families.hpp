@@ -35,6 +35,12 @@ namespace reconf::oracle {
 ///   kUnitArea         every area = 1 on a narrow device (2..8 columns): the
 ///                     multiprocessor special case, so the mp-* cross-check
 ///                     analyzers are adjudicated on applicable inputs
+///   kRuntimeMiss      harvested from the online runtime: a reconf-heavy
+///                     scenario is replayed without prefetch and the set of
+///                     tasks live at the earliest deadline miss becomes the
+///                     fuzz input — tasksets the admission gate accepted yet
+///                     an execution actually missed with, i.e. exactly the
+///                     boundary where an unsound analyzer would be caught
 enum class FuzzFamily {
   kUnconstrained,
   kNearBoundary,
@@ -45,6 +51,7 @@ enum class FuzzFamily {
   kHeavyTailArbitrary,
   kReconfHeavy,
   kUnitArea,
+  kRuntimeMiss,
 };
 
 [[nodiscard]] const char* to_string(FuzzFamily family) noexcept;

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace reconf::rt {
+
+/// What per-job budget enforcement does when a job exhausts its declared C
+/// with work remaining (fault::FaultKind::kWcetOverrun):
+///
+///   kAbort     the job is terminated at its budget. The analysis assumption
+///              (every job consumes at most C) is preserved, so admitted
+///              deadlines stay guaranteed; the overrunning job simply loses
+///              its tail.
+///   kSkipNext  abort the job AND suppress the task's next release — the
+///              classic overrun payback: the saved period amortizes the
+///              damage already done to lower-priority demand.
+///   kDegrade   let the job run long (soft real-time, Singh's regime). This
+///              deliberately breaks the WCET assumption, so sustained
+///              overload is expected — the runtime answers it with graceful
+///              degradation: shed the lowest-value tasks, re-validated
+///              through AdmissionSession::try_admit (see RecoveryPolicy).
+enum class OverrunAction {
+  kAbort,
+  kSkipNext,
+  kDegrade,
+};
+
+[[nodiscard]] constexpr const char* to_string(OverrunAction a) noexcept {
+  switch (a) {
+    case OverrunAction::kAbort:
+      return "abort";
+    case OverrunAction::kSkipNext:
+      return "skip";
+    case OverrunAction::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<OverrunAction> overrun_action_from(
+    std::string_view name) noexcept {
+  if (name == "abort") return OverrunAction::kAbort;
+  if (name == "skip") return OverrunAction::kSkipNext;
+  if (name == "degrade") return OverrunAction::kDegrade;
+  return std::nullopt;
+}
+
+/// How the runtime recovers from injected (or real) faults. All integers —
+/// the recovery path is part of the bit-stable replay contract.
+struct RecoveryPolicy {
+  OverrunAction overrun = OverrunAction::kAbort;
+
+  /// Port-load failure: retries before giving up on the job (demand side)
+  /// or rescheduling the prefetch (speculative side).
+  int max_load_retries = 3;
+  /// Backoff after the n-th consecutive failure is
+  /// min(retry_backoff << (n-1), retry_backoff_cap) ticks.
+  Ticks retry_backoff = 8;
+  Ticks retry_backoff_cap = 128;
+
+  /// Graceful degradation (armed only under OverrunAction::kDegrade, the
+  /// one action that can overload an admitted set): when at least
+  /// `shed_miss_threshold` deadline misses land within a sliding
+  /// `shed_window`, the runtime sheds the lowest-value live task and
+  /// re-validates the survivors through a fresh AdmissionSession — the
+  /// degraded set is provably schedulable, not just smaller.
+  int shed_miss_threshold = 2;
+  Ticks shed_window = 1000;
+
+  [[nodiscard]] Ticks backoff_after(int consecutive_failures) const noexcept {
+    if (consecutive_failures <= 0) return 0;
+    Ticks b = retry_backoff;
+    for (int i = 1; i < consecutive_failures && b < retry_backoff_cap; ++i) {
+      b *= 2;
+    }
+    return b < retry_backoff_cap ? b : retry_backoff_cap;
+  }
+};
+
+}  // namespace reconf::rt

@@ -9,7 +9,10 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/invariants.hpp"
 #include "svc/codec.hpp"
 #include "task/job.hpp"
@@ -38,6 +41,18 @@ struct RtMetrics {
   obs::Counter* prefetch_aborted;
   obs::Counter* evictions;
 
+  obs::Counter* fault_wcet;
+  obs::Counter* fault_port;
+  obs::Counter* fault_slow;
+  obs::Counter* fault_fabric;
+  obs::Counter* recovered_abort;
+  obs::Counter* recovered_skip;
+  obs::Counter* recovered_retry;
+  obs::Counter* recovered_reload;
+  obs::Counter* degraded_long;
+  obs::Counter* degraded_shed;
+  obs::Counter* degraded_load_abort;
+
   RtMetrics() {
     auto& reg = obs::MetricsRegistry::instance();
     admitted = &reg.counter("reconf_rt_admissions_total{verdict=\"admitted\"}");
@@ -59,6 +74,25 @@ struct RtMetrics {
     prefetch_aborted =
         &reg.counter("reconf_rt_prefetch_total{event=\"aborted\"}");
     evictions = &reg.counter("reconf_rt_evictions_total");
+
+    fault_wcet = &reg.counter("reconf_fault_injected_total{kind=\"wcet\"}");
+    fault_port = &reg.counter("reconf_fault_injected_total{kind=\"port\"}");
+    fault_slow = &reg.counter("reconf_fault_injected_total{kind=\"slow\"}");
+    fault_fabric =
+        &reg.counter("reconf_fault_injected_total{kind=\"fabric\"}");
+    recovered_abort =
+        &reg.counter("reconf_fault_recovered_total{action=\"abort\"}");
+    recovered_skip =
+        &reg.counter("reconf_fault_recovered_total{action=\"skip\"}");
+    recovered_retry =
+        &reg.counter("reconf_fault_recovered_total{action=\"retry\"}");
+    recovered_reload =
+        &reg.counter("reconf_fault_recovered_total{action=\"reload\"}");
+    degraded_long =
+        &reg.counter("reconf_fault_degraded_total{mode=\"overrun\"}");
+    degraded_shed = &reg.counter("reconf_fault_degraded_total{mode=\"shed\"}");
+    degraded_load_abort =
+        &reg.counter("reconf_fault_degraded_total{mode=\"load-abort\"}");
   }
 };
 
@@ -75,6 +109,8 @@ struct Slot {
   bool in_session = false;
   bool resident = false;           ///< configuration loaded on the fabric
   bool loaded_by_prefetch = false; ///< resident via the port, not yet used
+  Ticks value = 1;    ///< shed order under graceful degradation
+  bool shed = false;  ///< dropped by graceful degradation
   TaskAccount acct;
 };
 
@@ -86,6 +122,9 @@ struct ActiveJob {
   Area col_hi = 0;
   bool running = false;
   bool was_running = false;
+  Ticks overrun_left = 0;   ///< injected demand beyond the declared C
+  bool degraded = false;    ///< running its overrun tail (kDegrade)
+  bool abandoned = false;   ///< load retries exhausted; erase at dispatch
 };
 
 /// The single reconfiguration port (Resano et al.'s model: one load at a
@@ -116,6 +155,10 @@ class Runtime {
           sim::SchedulerKind::kEdfNf,
           sim::PlacementMode::kUnrestrictedMigration);
     }
+    if (config_.faults != nullptr) {
+      injector_ = std::make_unique<fault::FaultInjector>(*config_.faults);
+      result_.fault_mode = true;
+    }
     result_.scenario = scenario.name;
     result_.horizon = scenario.horizon;
   }
@@ -125,6 +168,7 @@ class Runtime {
     const Ticks horizon = scenario_.horizon;
     for (;;) {
       process_events(now);
+      inject_fabric(now);
       detect_misses(now);
       if (now >= horizon) break;
       release_jobs(now);
@@ -200,6 +244,7 @@ class Runtime {
     s.task = t;
     s.next_release = e.start == kNoTick ? e.at : e.start;
     s.in_session = true;
+    s.value = e.value;
     s.acct.name = e.name;
     s.acct.task = t;
     s.acct.first_release = s.next_release;
@@ -234,7 +279,7 @@ class Runtime {
             break;
           }
           s->next_release = kNoTick;  // drain: outstanding jobs finish
-          settle_departures();
+          settle_departures(now);
           break;
         }
         case EventKind::kModeChange: {
@@ -249,7 +294,7 @@ class Runtime {
           // guaranteed. Rejection leaves the old generation untouched.
           if (gate(t, e.at, e.kind).admitted) {
             old->next_release = kNoTick;
-            settle_departures();
+            settle_departures(now);
             open_slot(e, t);
           }
           break;
@@ -258,15 +303,30 @@ class Runtime {
     }
   }
 
+  /// Graceful degradation is armed only under OverrunAction::kDegrade — the
+  /// one recovery action that can overload an admitted set (every other
+  /// action preserves the per-job budget the analysis assumed).
+  [[nodiscard]] bool shedding_armed() const noexcept {
+    return config_.recovery.overrun == OverrunAction::kDegrade;
+  }
+
   void detect_misses(Ticks now) {
+    bool missed_any = false;
     for (std::size_t i = 0; i < active_.size();) {
       ActiveJob& a = active_[i];
       if (!a.job.finished() && a.job.abs_deadline <= now) {
         Slot& s = slots_[a.job.task_index];
         ++result_.deadline_misses;
         ++s.acct.missed;
+        if (s.acct.first_miss == kNoTick) s.acct.first_miss = now;
         --s.outstanding;
         metrics_.misses->inc();
+        if (checker_ != nullptr) {
+          checker_->on_deadline_miss(now, a.job.task_index);
+        }
+        if (shed_done_ && !s.shed) ++result_.faults.post_shed_misses;
+        missed_any = true;
+        if (shedding_armed()) recent_misses_.push_back(now);
         // The late job is abandoned at its deadline, as in the simulator's
         // continue mode; its area frees at the next dispatch.
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -274,7 +334,65 @@ class Runtime {
       }
       ++i;
     }
-    settle_departures();
+    if (missed_any && shedding_armed()) {
+      while (!recent_misses_.empty() &&
+             recent_misses_.front() + config_.recovery.shed_window <= now) {
+        recent_misses_.erase(recent_misses_.begin());
+      }
+      if (static_cast<int>(recent_misses_.size()) >=
+          config_.recovery.shed_miss_threshold) {
+        shed_lowest_value(now);
+        recent_misses_.clear();
+      }
+    }
+    settle_departures(now);
+  }
+
+  /// Transient fabric faults: a hit configuration is gone *now*. A running
+  /// job pays a full reload in place (its columns are its own; recovery is
+  /// a stall, not a reschedule); idle or waiting configurations are simply
+  /// invalidated and recharged on next demand; an in-flight port load on a
+  /// hit slot is aborted (the port retries via its normal path).
+  void inject_fabric(Ticks now) {
+    if (injector_ == nullptr) return;
+    for (const fault::FaultEvent* e : injector_->take_fabric_faults(now)) {
+      obs::Span span("rt.fabric_fault", "fault");
+      metrics_.fault_fabric->inc();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot& s = slots_[i];
+        if (!e->name.empty() && s.acct.name != e->name) continue;
+        if (port_.active && port_.slot == i) {
+          port_.active = false;
+          ++result_.prefetch_aborted;
+          metrics_.prefetch_aborted->inc();
+          ++result_.faults.fabric_invalidations;
+        }
+        if (!s.resident) continue;
+        bool running_job = false;
+        for (ActiveJob& a : active_) {
+          if (a.job.task_index != i || !a.running) continue;
+          running_job = true;
+          const Ticks reload = load_ticks(s);
+          a.reconfig_remaining += reload;
+          result_.stall_ticks += reload;
+          s.acct.stall_ticks += reload;
+          metrics_.stall_ticks->inc(static_cast<std::uint64_t>(reload));
+          ++result_.faults.fabric_reloads;
+          metrics_.recovered_reload->inc();
+        }
+        if (!running_job) {
+          s.resident = false;
+          s.loaded_by_prefetch = false;
+          for (ActiveJob& a : active_) {
+            if (a.job.task_index == i && !a.running) {
+              a.load_charged = false;
+              a.reconfig_remaining = 0;
+            }
+          }
+          ++result_.faults.fabric_invalidations;
+        }
+      }
+    }
   }
 
   void release_jobs(Ticks now) {
@@ -288,6 +406,13 @@ class Runtime {
         a.job.abs_deadline = s.next_release + s.task.deadline;
         a.job.remaining = s.task.wcet;
         a.job.area = s.task.area;
+        if (injector_ != nullptr) {
+          const Ticks extra = injector_->wcet_overrun(s.acct.name, a.job.release);
+          if (extra > 0) {
+            a.overrun_left = extra;
+            metrics_.fault_wcet->inc();
+          }
+        }
         active_.push_back(a);
         s.next_release += s.task.period;
         ++s.outstanding;
@@ -301,7 +426,7 @@ class Runtime {
   /// Charges (at most once per job) the placement of a job entering the
   /// running set: nothing when its configuration is resident, the remaining
   /// port time when the port is mid-load on it, the full load otherwise.
-  void on_enter_running(ActiveJob& a) {
+  void on_enter_running(ActiveJob& a, Ticks now) {
     if (a.load_charged) return;  // resumed after preemption, config kept
     a.load_charged = true;
     Slot& s = slots_[a.job.task_index];
@@ -326,14 +451,45 @@ class Runtime {
     Ticks stall = load;
     if (port_.active && port_.slot == a.job.task_index) {
       // Demand preempts the port: the in-flight prefetch becomes this job's
-      // (shortened) stall — a partial hide.
+      // (shortened) stall — a partial hide. (With an injected slow window
+      // the in-flight remainder can exceed the nominal load; the hide is
+      // then zero, never negative.)
       stall = port_.remaining;
       port_.active = false;
       ++result_.prefetch_partial;
-      result_.hidden_ticks += load - stall;
-      s.acct.hidden_ticks += load - stall;
-      metrics_.hidden_ticks->inc(static_cast<std::uint64_t>(load - stall));
+      const Ticks hidden = std::max<Ticks>(0, load - stall);
+      result_.hidden_ticks += hidden;
+      s.acct.hidden_ticks += hidden;
+      metrics_.hidden_ticks->inc(static_cast<std::uint64_t>(hidden));
     } else if (load > 0) {
+      if (injector_ != nullptr) {
+        const Ticks slowed = load * injector_->load_factor(now);
+        if (slowed > load) {
+          result_.faults.port_slow_ticks += slowed - load;
+          metrics_.fault_slow->inc();
+        }
+        stall = slowed;
+        // Demand-side port failures: each failed attempt costs the full
+        // (slowed) load plus an exponential backoff; the retry budget is the
+        // recovery policy's. Exhaustion abandons the job — the dispatch
+        // erases it and redoes the placement pass.
+        int failures = 0;
+        while (injector_->load_fails(now)) {
+          ++failures;
+          metrics_.fault_port->inc();
+          if (failures > config_.recovery.max_load_retries) {
+            a.abandoned = true;
+            ++result_.faults.load_aborts;
+            metrics_.degraded_load_abort->inc();
+            return;
+          }
+          const Ticks backoff = config_.recovery.backoff_after(failures);
+          ++result_.faults.load_retries;
+          result_.faults.retry_backoff_ticks += backoff;
+          stall += slowed + backoff;
+          metrics_.recovered_retry->inc();
+        }
+      }
       ++result_.cold_loads;
       metrics_.loads_cold->inc();
     }
@@ -457,20 +613,43 @@ class Runtime {
               });
     // EDF next-fit under unrestricted migration: area-only admission,
     // running jobs compacted left in priority order (sim::Engine's model).
+    // A job abandoned mid-pass (demand-load retries exhausted) aborts the
+    // pass; the abandoned jobs are erased and the placement redone — every
+    // job already charged keeps load_charged, so nothing double-charges.
     Area used = 0;
-    Area cursor = 0;
-    for (ActiveJob& a : active_) {
-      if (used + a.job.area > device_.width) {
-        a.running = false;
-        continue;
+    for (;;) {
+      used = 0;
+      Area cursor = 0;
+      bool any_abandoned = false;
+      for (ActiveJob& a : active_) {
+        if (used + a.job.area > device_.width) {
+          a.running = false;
+          continue;
+        }
+        used += a.job.area;
+        a.col_lo = cursor;
+        a.col_hi = cursor + a.job.area;
+        cursor += a.job.area;
+        const bool entering = !a.running;
+        a.running = true;
+        if (entering) {
+          on_enter_running(a, now);
+          if (a.abandoned) {
+            a.running = false;
+            any_abandoned = true;
+            break;
+          }
+        }
       }
-      used += a.job.area;
-      a.col_lo = cursor;
-      a.col_hi = cursor + a.job.area;
-      cursor += a.job.area;
-      const bool entering = !a.running;
-      a.running = true;
-      if (entering) on_enter_running(a);
+      if (!any_abandoned) break;
+      for (std::size_t i = 0; i < active_.size();) {
+        if (active_[i].abandoned) {
+          --slots_[active_[i].job.task_index].outstanding;
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        ++i;
+      }
     }
     for (const ActiveJob& a : active_) {
       if (a.was_running && !a.running && !a.job.finished()) {
@@ -514,6 +693,12 @@ class Runtime {
   /// outstanding job (a waiting job is demand territory).
   void start_prefetch(Ticks now) {
     if (policy_ == nullptr || port_.active || reconf_.free()) return;
+    // A failed speculative load backs the port off exponentially before
+    // re-prefetching (recovery policy); demand loads are never gated.
+    if (port_retry_at_ != kNoTick) {
+      if (now < port_retry_at_) return;
+      port_retry_at_ = kNoTick;
+    }
     candidates_.clear();
     candidate_slots_.clear();
     Area running_area = 0;
@@ -586,6 +771,14 @@ class Runtime {
     port_.active = true;
     port_.slot = slot;
     port_.remaining = c.load_ticks;
+    if (injector_ != nullptr) {
+      const Ticks slowed = c.load_ticks * injector_->load_factor(now);
+      if (slowed > c.load_ticks) {
+        result_.faults.port_slow_ticks += slowed - c.load_ticks;
+        metrics_.fault_slow->inc();
+        port_.remaining = slowed;
+      }
+    }
     ++result_.prefetch_started;
     metrics_.prefetch_started->inc();
   }
@@ -607,6 +800,13 @@ class Runtime {
       }
     }
     if (port_.active) next = std::min(next, now + port_.remaining);
+    if (port_retry_at_ != kNoTick && port_retry_at_ > now) {
+      next = std::min(next, port_retry_at_);
+    }
+    if (injector_ != nullptr) {
+      const Ticks fabric = injector_->next_fabric_at(now);
+      if (fabric != kNoTick) next = std::min(next, fabric);
+    }
     return next;
   }
 
@@ -634,14 +834,32 @@ class Runtime {
     result_.busy_area_time +=
         static_cast<std::int64_t>(occupied) * static_cast<std::int64_t>(dt);
     if (port_.active) {
-      port_.remaining -= std::min(dt, port_.remaining);
+      const Ticks step = std::min(dt, port_.remaining);
+      port_.remaining -= step;
       if (port_.remaining == 0) {
-        Slot& s = slots_[port_.slot];
-        s.resident = true;
-        s.loaded_by_prefetch = true;
+        const Ticks done_at = now + step;
         port_.active = false;
-        ++result_.prefetch_completed;
-        metrics_.prefetch_completed->inc();
+        if (injector_ != nullptr && injector_->load_fails(done_at)) {
+          // Speculative load failed at completion: nothing lands on the
+          // fabric; back the port off and let start_prefetch re-issue.
+          metrics_.fault_port->inc();
+          ++result_.faults.prefetch_refails;
+          ++consecutive_prefetch_failures_;
+          const Ticks backoff =
+              config_.recovery.backoff_after(consecutive_prefetch_failures_);
+          result_.faults.retry_backoff_ticks += backoff;
+          port_retry_at_ = done_at + backoff;
+          ++result_.prefetch_aborted;
+          metrics_.prefetch_aborted->inc();
+          metrics_.recovered_retry->inc();
+        } else {
+          Slot& s = slots_[port_.slot];
+          s.resident = true;
+          s.loaded_by_prefetch = true;
+          consecutive_prefetch_failures_ = 0;
+          ++result_.prefetch_completed;
+          metrics_.prefetch_completed->inc();
+        }
       }
     }
   }
@@ -665,6 +883,43 @@ class Runtime {
       ActiveJob& a = active_[i];
       if (a.running && a.job.finished() && a.reconfig_remaining == 0) {
         Slot& s = slots_[a.job.task_index];
+        if (a.overrun_left > 0) {
+          // Budget enforcement: the job burned its declared C and still has
+          // injected demand. What happens next is the recovery policy's
+          // overrun action; after the first shed, degrade hardens to abort
+          // so the re-validated survivor set keeps its WCET assumption.
+          OverrunAction action = config_.recovery.overrun;
+          if (action == OverrunAction::kDegrade && shed_done_) {
+            action = OverrunAction::kAbort;
+          }
+          switch (action) {
+            case OverrunAction::kAbort:
+              ++result_.faults.overrun_aborts;
+              metrics_.recovered_abort->inc();
+              break;
+            case OverrunAction::kSkipNext:
+              ++result_.faults.overrun_skips;
+              metrics_.recovered_skip->inc();
+              if (s.next_release != kNoTick) {
+                s.next_release += s.task.period;
+              }
+              break;
+            case OverrunAction::kDegrade:
+              ++result_.faults.overrun_degrades;
+              metrics_.degraded_long->inc();
+              a.job.remaining = a.overrun_left;
+              a.overrun_left = 0;
+              a.degraded = true;
+              a.was_running = a.running;
+              ++i;
+              continue;  // keeps running its tail; misses handle the rest
+          }
+          // Abort / skip: the job ends at its budget — not a completion,
+          // not a miss; its deadline guarantee is forfeit by injection.
+          --s.outstanding;
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
         const Ticks response = now - a.job.release;
         ++s.acct.completed;
         s.acct.total_response += response;
@@ -678,18 +933,110 @@ class Runtime {
       a.was_running = a.running;
       ++i;
     }
-    settle_departures();
+    settle_departures(now);
   }
 
   /// Finalizes drains: a slot that stopped releasing and has no outstanding
   /// job leaves the admission session — the analyzed set stays a superset
   /// of the releasing set at every instant in between.
-  void settle_departures() {
+  void settle_departures(Ticks now) {
     for (Slot& s : slots_) {
       if (s.in_session && s.next_release == kNoTick && s.outstanding == 0) {
         const bool removed = session_.remove(s.task);
         RECONF_ASSERT(removed);
         s.in_session = false;
+        s.acct.drained_at = now;
+      }
+    }
+  }
+
+  /// Removes `index` from the releasing set: its outstanding jobs are
+  /// erased, its releases stop, and the InvariantChecker from now on treats
+  /// any of its jobs in a dispatch as a violation.
+  void shed_slot(std::size_t index, Ticks now, bool revalidation_reject) {
+    Slot& s = slots_[index];
+    s.shed = true;
+    s.next_release = kNoTick;
+    for (std::size_t j = 0; j < active_.size();) {
+      if (active_[j].job.task_index == index) {
+        --s.outstanding;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(j));
+        continue;
+      }
+      ++j;
+    }
+    if (checker_ != nullptr) checker_->mark_shed(index, now);
+    ++result_.faults.sheds;
+    if (revalidation_reject) ++result_.faults.shed_revalidation_rejects;
+    metrics_.degraded_shed->inc();
+    ShedRecord rec;
+    rec.at = now;
+    rec.name = s.acct.name;
+    rec.revalidation_reject = revalidation_reject;
+    result_.sheds.push_back(std::move(rec));
+  }
+
+  /// Graceful degradation: sheds the lowest-value live task, aborts every
+  /// degraded overrun tail, then re-validates the survivors through a fresh
+  /// AdmissionSession — the degraded set is provably schedulable, not just
+  /// smaller. Survivors the gate refuses are shed too.
+  void shed_lowest_value(Ticks now) {
+    obs::Span span("rt.shed", "fault");
+    std::optional<std::size_t> victim;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (!s.in_session || s.shed || s.next_release == kNoTick) continue;
+      if (!victim) {
+        victim = i;
+        continue;
+      }
+      const Slot& v = slots_[*victim];
+      const bool worse = s.value != v.value  ? s.value < v.value
+                         : s.task.area != v.task.area
+                             ? s.task.area > v.task.area
+                             : i > *victim;
+      if (worse) victim = i;
+    }
+    if (!victim) return;
+    // Degraded tails lose their extension at the shed point: from here the
+    // surviving set must obey the budgets the re-validation assumes (later
+    // overruns harden from degrade to abort — see reap_completed).
+    for (std::size_t j = 0; j < active_.size();) {
+      if (active_[j].degraded) {
+        --slots_[active_[j].job.task_index].outstanding;
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(j));
+        continue;
+      }
+      ++j;
+    }
+    shed_slot(*victim, now, false);
+    // A releasing survivor the fresh gate refuses is shed as well; a
+    // draining member it refuses cannot be shed (it is already leaving) —
+    // it only blocks the "protected" promotion below.
+    bool drains_ok = true;
+    svc::AdmissionSession probe(device_, config_.cache, config_.admission);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (!s.in_session || s.shed) continue;
+      if (probe.try_admit(s.task).admitted) continue;
+      if (s.next_release != kNoTick) {
+        shed_slot(i, now, true);
+      } else {
+        drains_ok = false;
+        ++result_.faults.shed_revalidation_rejects;
+      }
+    }
+    shed_done_ = true;
+    settle_departures(now);
+    // In the zero-reconfiguration-cost regime the analysis guarantee is
+    // exact, so the re-validated survivors are promoted to protected: any
+    // later miss of theirs is an invariant violation, not a statistic.
+    if (drains_ok && reconf_.free() && checker_ != nullptr) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].in_session && !slots_[i].shed &&
+            slots_[i].next_release != kNoTick) {
+          checker_->protect(i);
+        }
       }
     }
   }
@@ -699,6 +1046,13 @@ class Runtime {
     for (Slot& s : slots_) result_.tasks.push_back(std::move(s.acct));
     if (checker_ != nullptr) {
       result_.invariant_violations = checker_->violations();
+    }
+    if (injector_ != nullptr) {
+      const fault::InjectedCounts& inj = injector_->injected();
+      result_.faults.wcet_overruns = inj.wcet_overruns;
+      result_.faults.port_failures = inj.port_failures;
+      result_.faults.port_slow_events = inj.port_slow_events;
+      result_.faults.fabric_faults = inj.fabric_faults;
     }
   }
 
@@ -719,6 +1073,12 @@ class Runtime {
   bool ts_dirty_ = false;
   std::vector<ActiveJob> active_;
   Port port_;
+
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<Ticks> recent_misses_;  ///< sliding shed window
+  bool shed_done_ = false;
+  Ticks port_retry_at_ = kNoTick;  ///< speculative-side backoff gate
+  int consecutive_prefetch_failures_ = 0;
 
   std::vector<Job> snapshot_jobs_;
   std::vector<std::uint8_t> snapshot_running_;
@@ -750,6 +1110,30 @@ std::string RuntimeResult::summary_json() const {
   out += ",\"aborted\":" + std::to_string(prefetch_aborted) + "}";
   out += ",\"evictions\":" + std::to_string(evictions);
   out += ",\"ignored_events\":" + std::to_string(ignored_events);
+  if (fault_mode) {
+    // Present only when a fault plan was attached, so fault-free replay
+    // lines (the committed scenario corpus) stay byte-identical.
+    out += ",\"faults\":{\"wcet_overruns\":" +
+           std::to_string(faults.wcet_overruns);
+    out += ",\"overrun_aborts\":" + std::to_string(faults.overrun_aborts);
+    out += ",\"overrun_skips\":" + std::to_string(faults.overrun_skips);
+    out += ",\"overrun_degrades\":" + std::to_string(faults.overrun_degrades);
+    out += ",\"port_failures\":" + std::to_string(faults.port_failures);
+    out += ",\"load_retries\":" + std::to_string(faults.load_retries);
+    out += ",\"load_aborts\":" + std::to_string(faults.load_aborts);
+    out += ",\"prefetch_refails\":" + std::to_string(faults.prefetch_refails);
+    out += ",\"backoff_ticks\":" + std::to_string(faults.retry_backoff_ticks);
+    out += ",\"slow_events\":" + std::to_string(faults.port_slow_events);
+    out += ",\"slow_ticks\":" + std::to_string(faults.port_slow_ticks);
+    out += ",\"fabric\":" + std::to_string(faults.fabric_faults);
+    out += ",\"reloads\":" + std::to_string(faults.fabric_reloads);
+    out += ",\"invalidated\":" + std::to_string(faults.fabric_invalidations);
+    out += ",\"sheds\":" + std::to_string(faults.sheds);
+    out += ",\"shed_rejects\":" +
+           std::to_string(faults.shed_revalidation_rejects);
+    out += ",\"post_shed_misses\":" + std::to_string(faults.post_shed_misses);
+    out += "}";
+  }
   out += ",\"invariant_violations\":" +
          std::to_string(invariant_violations.size());
   out += "}";

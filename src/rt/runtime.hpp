@@ -8,12 +8,17 @@
 #include "analysis/engine.hpp"
 #include "common/types.hpp"
 #include "rt/prefetch.hpp"
+#include "rt/recovery.hpp"
 #include "rt/scenario.hpp"
 #include "sim/observer.hpp"
 #include "sim/trace.hpp"
 #include "svc/session.hpp"
 #include "task/task.hpp"
 #include "task/taskset.hpp"
+
+namespace reconf::fault {
+struct FaultPlan;
+}  // namespace reconf::fault
 
 namespace reconf::rt {
 
@@ -45,6 +50,13 @@ struct RuntimeConfig {
   sim::DispatchObserver* observer = nullptr;
 
   AdmissionProbe admission_probe;
+
+  /// Optional seeded fault plan replayed against this run; not owned. When
+  /// set, the result carries a "faults" section in summary_json() (absent
+  /// otherwise, so fault-free replay lines stay byte-identical).
+  const fault::FaultPlan* faults = nullptr;
+  /// Recovery policy for injected (or organic) faults; see rt/recovery.hpp.
+  RecoveryPolicy recovery;
 };
 
 /// Per-task (per scenario-generation: a mode change opens a fresh account)
@@ -60,6 +72,8 @@ struct TaskAccount {
   Ticks total_response = 0;  ///< over completed jobs
   Ticks stall_ticks = 0;     ///< reconfiguration time its jobs waited
   Ticks hidden_ticks = 0;    ///< load time the prefetch port hid for it
+  Ticks first_miss = kNoTick;  ///< time of this generation's first miss
+  Ticks drained_at = kNoTick;  ///< left the admission session (fully drained)
 };
 
 /// One admission-gate attempt (arrivals and mode changes; departures do not
@@ -71,6 +85,46 @@ struct AdmissionRecord {
   bool admitted = false;
   bool cache_hit = false;
   std::string accepted_by;  ///< analyzer id; empty when rejected
+};
+
+/// Fault-recovery accounting (all zero on fault-free runs). Counters with
+/// an "injected" flavour mirror fault::InjectedCounts; the rest record what
+/// the recovery policy did about each injection. Conservation invariant the
+/// chaos harness pins: overrun_aborts + overrun_skips + overrun_degrades
+/// <= wcet_overruns — an injected overrun either reaches budget enforcement
+/// (one action recorded) or its job ended first (deadline miss, load abort,
+/// shed, or the horizon).
+struct FaultRecoveryStats {
+  std::uint64_t wcet_overruns = 0;
+  std::uint64_t overrun_aborts = 0;
+  std::uint64_t overrun_skips = 0;
+  std::uint64_t overrun_degrades = 0;
+
+  std::uint64_t port_failures = 0;     ///< injected load failures consumed
+  std::uint64_t load_retries = 0;      ///< demand-side retries taken
+  std::uint64_t load_aborts = 0;       ///< jobs abandoned, retries exhausted
+  std::uint64_t prefetch_refails = 0;  ///< failures on the speculative side
+  Ticks retry_backoff_ticks = 0;       ///< total backoff waited
+
+  std::uint64_t port_slow_events = 0;  ///< slow windows that bit a load
+  Ticks port_slow_ticks = 0;           ///< extra load ticks the windows cost
+
+  std::uint64_t fabric_faults = 0;         ///< transient fabric events fired
+  std::uint64_t fabric_reloads = 0;        ///< running jobs re-loaded in place
+  std::uint64_t fabric_invalidations = 0;  ///< idle configurations dropped
+
+  std::uint64_t sheds = 0;  ///< tasks shed by graceful degradation
+  std::uint64_t shed_revalidation_rejects = 0;
+  std::uint64_t post_shed_misses = 0;  ///< misses by surviving tasks
+};
+
+/// One graceful-degradation shed. `revalidation_reject` distinguishes the
+/// lowest-value victim (false) from a survivor the fresh AdmissionSession
+/// refused during re-validation (true).
+struct ShedRecord {
+  Ticks at = 0;
+  std::string name;
+  bool revalidation_reject = false;
 };
 
 /// Everything one runtime run produces. Deterministic: a pure function of
@@ -119,6 +173,11 @@ struct RuntimeResult {
   std::vector<AdmissionRecord> admissions;
   sim::Trace trace;
   std::vector<std::string> invariant_violations;
+
+  /// True when a fault plan was attached; gates the "faults" summary field.
+  bool fault_mode = false;
+  FaultRecoveryStats faults;
+  std::vector<ShedRecord> sheds;
 
   [[nodiscard]] double miss_rate() const noexcept {
     return releases == 0 ? 0.0

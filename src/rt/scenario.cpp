@@ -141,8 +141,8 @@ Scenario parse_scenario(const std::string& text) {
       reject_unknown_keys(obj, kDepartKeys, line_no);
       event.kind = EventKind::kDepart;
     } else if (kind == "arrive" || kind == "mode-change") {
-      static constexpr const char* kTaskKeys[] = {"at", "event", "name", "c",
-                                                  "d",  "t",     "a",    "start"};
+      static constexpr const char* kTaskKeys[] = {
+          "at", "event", "name", "c", "d", "t", "a", "start", "value"};
       reject_unknown_keys(obj, kTaskKeys, line_no);
       event.kind =
           kind == "arrive" ? EventKind::kArrive : EventKind::kModeChange;
@@ -151,6 +151,9 @@ Scenario parse_scenario(const std::string& text) {
       event.task.period = require_ticks(obj, "t", line_no);
       event.task.area = static_cast<Area>(require_ticks(obj, "a", line_no));
       event.task.name = event.name;
+      if (obj.find("value") != nullptr) {
+        event.value = require_ticks(obj, "value", line_no);
+      }
       if (obj.find("start") != nullptr) {
         event.start = optional_ticks(obj, "start", event.at, line_no);
         if (event.start < event.at) {
@@ -202,6 +205,9 @@ std::string format_scenario(const Scenario& scenario) {
              ",\"a\":" + std::to_string(e.task.area);
       if (e.start != kNoTick && e.start != e.at) {
         out += ",\"start\":" + std::to_string(e.start);
+      }
+      if (e.value != 1) {
+        out += ",\"value\":" + std::to_string(e.value);
       }
     }
     out += "}\n";

@@ -31,6 +31,10 @@ struct ScenarioEvent {
   std::string name;
   Task task;             ///< kArrive / kModeChange: the (new) parameters
   Ticks start = kNoTick; ///< first release; kNoTick = at
+  /// Relative worth under graceful degradation: the shed path drops the
+  /// lowest-value live task first. Optional "value" key (default 1); only
+  /// formatted when != 1, so existing corpus lines round-trip unchanged.
+  Ticks value = 1;
 };
 
 /// A replayable workload: device, horizon, reconfiguration-cost model and a

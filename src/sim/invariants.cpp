@@ -10,9 +10,38 @@ void InvariantChecker::violate(Ticks now, const std::string& what) {
   }
 }
 
+void InvariantChecker::mark_shed(std::size_t task_index, Ticks at) {
+  if (shed_.size() <= task_index) shed_.resize(task_index + 1, false);
+  shed_[task_index] = true;
+  (void)at;
+}
+
+void InvariantChecker::protect(std::size_t task_index) {
+  if (protected_.size() <= task_index) {
+    protected_.resize(task_index + 1, false);
+  }
+  protected_[task_index] = true;
+}
+
+void InvariantChecker::on_deadline_miss(Ticks now, std::size_t task_index) {
+  if (task_index < protected_.size() && protected_[task_index]) {
+    violate(now, "protected task " + std::to_string(task_index) +
+                     " missed a deadline after shed re-validation");
+  }
+}
+
 void InvariantChecker::on_dispatch(const DispatchSnapshot& snap,
                                    const TaskSet& ts, Device device) {
   ++dispatches_;
+
+  for (std::size_t i = 0; i < snap.active.size(); ++i) {
+    const std::size_t task = snap.active[i].task_index;
+    if (task < shed_.size() && shed_[task]) {
+      violate(snap.now, "job of shed task " + std::to_string(task) +
+                            " still in the dispatch queue");
+      break;
+    }
+  }
 
   Area occupied = 0;
   bool any_waiting = false;

@@ -43,6 +43,22 @@ class InvariantChecker final : public DispatchObserver {
   void on_dispatch(const DispatchSnapshot& snapshot, const TaskSet& ts,
                    Device device) override;
 
+  /// Graceful-degradation contract (the rt layer's shed path): a shed task's
+  /// jobs must never appear in a later dispatch — its fabric share really is
+  /// released to the survivors.
+  void mark_shed(std::size_t task_index, Ticks at);
+
+  /// Arms the "never misses" guarantee for `task_index`: after a shed
+  /// re-validates the surviving set through the admission gate, a protected
+  /// task reporting a deadline miss is an invariant violation, not a
+  /// statistic. The rt layer arms this only in the zero-reconfiguration-cost
+  /// regime, where the analysis guarantee is exact.
+  void protect(std::size_t task_index);
+
+  /// The runtime reports every adjudicated deadline miss here; a miss on a
+  /// protected task is a violation.
+  void on_deadline_miss(Ticks now, std::size_t task_index);
+
   [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
     return violations_;
   }
@@ -58,6 +74,10 @@ class InvariantChecker final : public DispatchObserver {
   PlacementMode placement_;
   std::vector<std::string> violations_;
   std::uint64_t dispatches_ = 0;
+  /// Indexed by task_index; the task table is append-only so indexes are
+  /// stable. Sized lazily on first use.
+  std::vector<bool> shed_;
+  std::vector<bool> protected_;
 };
 
 }  // namespace reconf::sim

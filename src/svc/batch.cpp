@@ -27,6 +27,8 @@ struct SvcMetrics {
       "reconf_svc_cache_misses_total");
   obs::Histogram& latency_ns = obs::MetricsRegistry::instance().histogram(
       "reconf_svc_request_latency_ns");
+  obs::Counter& shed_deadline = obs::MetricsRegistry::instance().counter(
+      "reconf_svc_shed_total{reason=\"deadline\"}");
 
   static const SvcMetrics& get() {
     static const SvcMetrics metrics;
@@ -46,6 +48,13 @@ BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
 
   BatchVerdict out;
   out.id = request.id;
+  if (request.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() >= request.deadline) {
+    // The client has already given up on this answer; shed, don't analyze.
+    out.shed = "deadline";
+    metrics.shed_deadline.inc();
+    return out;
+  }
   if (engine.empty()) {
     // Refusing beats silently answering kInconclusive for every input: the
     // caller selected tests that all fell to the scheduler restriction

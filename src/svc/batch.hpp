@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -30,6 +31,11 @@ struct BatchRequest {
   /// to analyze; the frontend answers with a metrics snapshot (see
   /// svc/stats_surface.hpp) instead of routing it through the pipeline.
   bool stats = false;
+  /// Per-request deadline (hardening): epoch (the default) means none. A
+  /// request whose deadline has passed when a worker picks it up is shed —
+  /// BatchVerdict::shed = "deadline" — instead of analyzed; under overload,
+  /// work the client has already given up on is the first to go.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Per-analyzer slice of a freshly computed verdict, in execution order —
@@ -66,6 +72,11 @@ struct BatchVerdict {
   /// scheduler restriction. A verdict with an error is NOT "inconclusive";
   /// the frontend answers with an error line instead of a verdict.
   std::string error;
+  /// Non-empty when the server chose not to evaluate the request (reason:
+  /// "deadline" here; the frontend adds "queue" for bounded-queue
+  /// overflow). Answered with a distinct {"id":...,"shed":"..."} line —
+  /// shed work is retryable, errored work is not.
+  std::string shed;
 };
 
 /// Pipeline-wide analysis configuration: one AnalysisRequest shared by all

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <istream>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -186,7 +187,31 @@ BatchRequest parse_request_members(const JsonValue& doc, std::string id) {
 
 }  // namespace
 
+LineStatus read_bounded_line(std::istream& in, std::string& line,
+                             std::size_t max_len) {
+  line.clear();
+  bool overflow = false;
+  bool any = false;
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    any = true;
+    if (ch == '\n') return overflow ? LineStatus::kOversized : LineStatus::kLine;
+    if (line.size() >= max_len) {
+      overflow = true;  // keep the prefix, drain the rest unbuffered
+      continue;
+    }
+    line.push_back(static_cast<char>(ch));
+  }
+  if (!any) return LineStatus::kEof;
+  // Final line without a trailing newline: still a request.
+  return overflow ? LineStatus::kOversized : LineStatus::kLine;
+}
+
 BatchRequest parse_request_line(const std::string& line) {
+  if (line.size() > kMaxRequestLine) {
+    throw CodecError("bad request: line exceeds " +
+                     std::to_string(kMaxRequestLine) + " bytes");
+  }
   JsonValue doc;
   try {
     doc = json::parse(line);
@@ -298,6 +323,12 @@ std::string format_error_line(const std::string& id,
                               const std::string& message) {
   return "{\"id\":\"" + json_escape(id) + "\",\"error\":\"" +
          json_escape(message) + "\"}";
+}
+
+std::string format_shed_line(const std::string& id,
+                             const std::string& reason) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"shed\":\"" +
+         json_escape(reason) + "\"}";
 }
 
 }  // namespace reconf::svc

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
 
@@ -7,6 +9,27 @@
 #include "task/taskset.hpp"
 
 namespace reconf::svc {
+
+/// Hard cap on one NDJSON request line (1 MiB). Far above any legitimate
+/// request; a longer line is rejected before parsing so a newline-less
+/// stream cannot grow server memory without bound.
+inline constexpr std::size_t kMaxRequestLine = 1u << 20;
+
+/// Result of read_bounded_line: a complete (or final, unterminated) line, a
+/// line that blew the cap (its first kMaxRequestLine bytes are kept so the
+/// id stays recoverable, the rest is discarded unbuffered), or end of
+/// stream with nothing read.
+enum class LineStatus {
+  kLine,
+  kOversized,
+  kEof,
+};
+
+/// Reads one '\n'-terminated line from `in` with bounded memory. A final
+/// line without a trailing newline is still returned as kLine — a client
+/// that exits after its last request must not have that request dropped.
+LineStatus read_bounded_line(std::istream& in, std::string& line,
+                             std::size_t max_len = kMaxRequestLine);
 
 /// Thrown by `parse_request_line` on malformed input. The message names the
 /// offending field or byte offset; the streaming frontend turns it into an
@@ -72,6 +95,13 @@ class CodecError : public std::runtime_error {
 /// Error response line: {"id":"r1","error":"<message>"}.
 [[nodiscard]] std::string format_error_line(const std::string& id,
                                             const std::string& message);
+
+/// Overload-shedding response line: {"id":"r1","shed":"queue"}. Distinct
+/// from "error" — the request was well-formed but the server chose not to
+/// evaluate it (bounded queue overflow, expired deadline); clients may
+/// retry, which they must not do for errors.
+[[nodiscard]] std::string format_shed_line(const std::string& id,
+                                           const std::string& reason);
 
 /// JSON string-body escaping (quotes, backslash, control characters).
 [[nodiscard]] std::string json_escape(const std::string& raw);

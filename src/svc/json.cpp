@@ -1,10 +1,16 @@
 #include "svc/json.hpp"
 
 #include <cctype>
+#include <cmath>
 
 namespace reconf::svc::json {
 
 namespace {
+
+/// Nesting cap: the recursive-descent parser would otherwise turn
+/// "[[[[..." into a stack overflow — a one-line denial of service against
+/// the serving tier. Far above anything the request schema needs.
+constexpr int kMaxDepth = 64;
 
 class Parser {
  public:
@@ -56,6 +62,8 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    DepthGuard guard(depth_);
     Value v;
     v.kind = Value::Kind::kObject;
     if (peek() == '}') {
@@ -75,6 +83,8 @@ class Parser {
 
   Value parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    DepthGuard guard(depth_);
     Value v;
     v.kind = Value::Kind::kArray;
     if (peek() == ']') {
@@ -203,6 +213,9 @@ class Parser {
     } catch (const std::exception&) {
       fail("unparsable number '" + token + "'");
     }
+    if (!std::isfinite(v.number)) {
+      fail("non-finite number '" + token + "'");
+    }
     if (!real) {
       try {
         std::size_t used = 0;
@@ -215,8 +228,15 @@ class Parser {
     return v;
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) noexcept : depth_(depth) {}
+    ~DepthGuard() { --depth_; }
+    int& depth_;
+  };
+
   const std::string& src_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include "svc/verdict_cache.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "common/contracts.hpp"
 
@@ -125,6 +128,96 @@ void VerdictCache::clear() {
     sh->lru.clear();
     sh->index.clear();
   }
+}
+
+namespace {
+
+constexpr const char kSnapshotHeader[] = "reconf-verdict-cache v1";
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool VerdictCache::save_snapshot(const std::string& path,
+                                 std::string* error) const {
+  // Serialize under the shard locks into memory first (no I/O while locked),
+  // least recently used first so a capacity-limited restore keeps the most
+  // recent entries.
+  std::string body;
+  std::size_t count = 0;
+  for (const auto& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
+      char key_hex[17];
+      std::snprintf(key_hex, sizeof key_hex, "%016llx",
+                    static_cast<unsigned long long>(it->first));
+      body += key_hex;
+      body += it->second.accepted ? " 1 " : " 0 ";
+      body += it->second.accepted_by.empty() ? "-" : it->second.accepted_by;
+      body += '\n';
+      ++count;
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return set_error(error, "cannot open " + tmp);
+    out << kSnapshotHeader << "\n" << "count " << count << "\n" << body;
+    out.flush();
+    if (!out) return set_error(error, "write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return set_error(error, "rename to " + path + " failed");
+  }
+  return true;
+}
+
+bool VerdictCache::load_snapshot(const std::string& path,
+                                 std::size_t* restored, std::string* error) {
+  if (restored != nullptr) *restored = 0;
+  std::ifstream in(path);
+  if (!in) return set_error(error, "cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kSnapshotHeader) {
+    return set_error(error, path + ": not a verdict-cache snapshot");
+  }
+  std::size_t count = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "count %zu", &count) != 1) {
+    return set_error(error, path + ": missing count header");
+  }
+  std::size_t seen = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key_hex;
+    int accepted = 0;
+    std::string accepted_by;
+    if (!(fields >> key_hex >> accepted >> accepted_by) ||
+        key_hex.size() != 16 || (accepted != 0 && accepted != 1)) {
+      return set_error(error,
+                       path + ": malformed snapshot line '" + line + "'");
+    }
+    std::uint64_t key = 0;
+    if (std::sscanf(key_hex.c_str(), "%llx",
+                    reinterpret_cast<unsigned long long*>(&key)) != 1) {
+      return set_error(error, path + ": bad key '" + key_hex + "'");
+    }
+    insert(key, CachedVerdict{accepted == 1,
+                              accepted_by == "-" ? "" : accepted_by});
+    ++seen;
+  }
+  if (seen != count) {
+    return set_error(error, path + ": truncated snapshot (" +
+                                std::to_string(seen) + " of " +
+                                std::to_string(count) + " entries)");
+  }
+  if (restored != nullptr) *restored = seen;
+  return true;
 }
 
 }  // namespace reconf::svc

@@ -95,6 +95,30 @@ class VerdictCache {
   /// Drops all entries; statistics counters are kept.
   void clear();
 
+  /// Crash-safe snapshot of the cache contents (not the statistics) to
+  /// `path`: a versioned text format, entries per shard from least to most
+  /// recently used, written to `path`.tmp and atomically renamed over the
+  /// target — a crash mid-write never corrupts a previous good snapshot.
+  /// Returns false (with `error` set when non-null) on I/O failure.
+  ///
+  ///   reconf-verdict-cache v1
+  ///   count <N>
+  ///   <%016x key> <0|1 accepted> <accepted_by or "-">
+  ///
+  /// Warm restore with load_snapshot(); save → load → re-query is
+  /// bit-identical (same verdicts for the same keys).
+  bool save_snapshot(const std::string& path,
+                     std::string* error = nullptr) const;
+
+  /// Restores entries from a save_snapshot() file via plain insert()s (so
+  /// capacity limits and statistics behave exactly as live traffic).
+  /// Refuses — returning false, restoring nothing past the error point —
+  /// truncated or malformed files: a half-written snapshot must not warm
+  /// the cache with silently missing entries. `restored` (when non-null)
+  /// receives the number of entries inserted.
+  bool load_snapshot(const std::string& path, std::size_t* restored = nullptr,
+                     std::string* error = nullptr);
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -1,5 +1,6 @@
 // Tests for the NDJSON request/response codec of the admission service.
 
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -249,6 +250,97 @@ TEST(CodecFormat, ErrorLine) {
 TEST(CodecFormat, JsonEscapeControlCharacters) {
   EXPECT_EQ(svc::json_escape(std::string("a\x01z")), "a\\u0001z");
   EXPECT_EQ(svc::json_escape("tab\there"), "tab\\there");
+}
+
+TEST(CodecFormat, ShedLine) {
+  EXPECT_EQ(svc::format_shed_line("r9", "queue"),
+            R"({"id":"r9","shed":"queue"})");
+  EXPECT_EQ(svc::format_shed_line("", "deadline"),
+            R"({"id":"","shed":"deadline"})");
+}
+
+// ----------------------------------------------------------- hardening ----
+
+TEST(CodecHardening, DeeplyNestedJsonIsRejectedNotStackOverflowed) {
+  // 1000 nested arrays: must fail with a depth error, not crash the parser.
+  std::string line = R"({"id":"d","device":10,"tasks":)";
+  for (int i = 0; i < 1000; ++i) line += '[';
+  for (int i = 0; i < 1000; ++i) line += ']';
+  line += '}';
+  try {
+    (void)svc::parse_request_line(line);
+    FAIL() << "deep nesting accepted";
+  } catch (const svc::CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("deep"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CodecHardening, NonFiniteNumbersAreRejected) {
+  // 1e999 overflows double to +inf; a non-finite value must never leak into
+  // tick arithmetic.
+  EXPECT_THROW(
+      (void)svc::parse_request_line(
+          R"({"id":"n","device":10,"tasks":[{"c":1e999,"d":5,"t":5,"a":1}]})"),
+      svc::CodecError);
+}
+
+TEST(CodecHardening, OversizedRequestLineIsRejected) {
+  std::string line = R"({"id":"big","device":10,"tasks":[],"pad":")";
+  line.append(svc::kMaxRequestLine, 'x');
+  line += "\"}";
+  try {
+    (void)svc::parse_request_line(line);
+    FAIL() << "oversized line accepted";
+  } catch (const svc::CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+TEST(CodecHardening, TruncatedRequestsErrorPerKind) {
+  // Truncations of each request form must throw (with the id when it was
+  // recoverable), never return a half-parsed request.
+  const std::string full =
+      R"({"id":"r1","device":100,"tasks":[{"c":5,"d":9,"t":9,"a":1}]})";
+  for (const std::size_t cut :
+       {std::size_t{10}, std::size_t{25}, std::size_t{40}, full.size() - 2}) {
+    EXPECT_THROW((void)svc::parse_request_line(full.substr(0, cut)),
+                 svc::CodecError)
+        << "cut at " << cut;
+  }
+  EXPECT_THROW((void)svc::parse_request_line(R"({"id":"s","taskset":"task)"),
+               svc::CodecError);
+  EXPECT_THROW((void)svc::parse_request_line(R"({"id":"t","stats":)"),
+               svc::CodecError);
+}
+
+TEST(CodecHardening, ReadBoundedLineSplitsAndCaps) {
+  std::istringstream in("short\n\nlast-no-newline");
+  std::string line;
+  EXPECT_EQ(svc::read_bounded_line(in, line), svc::LineStatus::kLine);
+  EXPECT_EQ(line, "short");
+  EXPECT_EQ(svc::read_bounded_line(in, line), svc::LineStatus::kLine);
+  EXPECT_EQ(line, "");
+  // The final unterminated line is still a line — a stream ending without a
+  // trailing newline must not lose its last request.
+  EXPECT_EQ(svc::read_bounded_line(in, line), svc::LineStatus::kLine);
+  EXPECT_EQ(line, "last-no-newline");
+  EXPECT_EQ(svc::read_bounded_line(in, line), svc::LineStatus::kEof);
+}
+
+TEST(CodecHardening, ReadBoundedLineDrainsOversizedWithBoundedMemory) {
+  std::string text(100, 'a');
+  text += '\n';
+  text += "after";
+  std::istringstream in(text);
+  std::string line;
+  // Cap of 10: the kept prefix is exactly the cap, the rest of the line is
+  // drained, and the next read continues at the following line.
+  EXPECT_EQ(svc::read_bounded_line(in, line, 10), svc::LineStatus::kOversized);
+  EXPECT_EQ(line, std::string(10, 'a'));
+  EXPECT_EQ(svc::read_bounded_line(in, line, 10), svc::LineStatus::kLine);
+  EXPECT_EQ(line, "after");
+  EXPECT_EQ(svc::read_bounded_line(in, line, 10), svc::LineStatus::kEof);
 }
 
 }  // namespace

@@ -4,7 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -487,6 +491,95 @@ TEST(BatchPipeline, CacheDoesNotChangeVerdicts) {
   const auto warm = svc::run_batch(requests, &cache, pool, {});
   (void)warm;
   EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(BatchPipeline, ExpiredDeadlineShedsInsteadOfAnalyzing) {
+  svc::BatchRequest request;
+  request.id = "late";
+  request.taskset = table3_taskset();
+  request.device = Device{100};
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const svc::BatchVerdict verdict =
+      svc::evaluate_request(request, nullptr, {});
+  EXPECT_EQ(verdict.shed, "deadline");
+  EXPECT_TRUE(verdict.error.empty());
+  EXPECT_FALSE(verdict.accepted);
+
+  // No deadline (the default) analyzes as before.
+  request.deadline = {};
+  EXPECT_TRUE(svc::evaluate_request(request, nullptr, {}).shed.empty());
+}
+
+// ----------------------------------------------------- cache snapshot ----
+
+TEST(VerdictCacheSnapshot, SaveRestoreRequeryIsBitIdentical) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "reconf_cache_snap_test.v1")
+          .string();
+  svc::VerdictCache cache(64, 4);
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    cache.insert(k * 0x9E3779B97F4A7C15ull,
+                 svc::CachedVerdict{k % 3 != 0, k % 2 == 0 ? "dp" : "gn2"});
+  }
+  std::string error;
+  ASSERT_TRUE(cache.save_snapshot(path, &error)) << error;
+
+  svc::VerdictCache restored(64, 4);
+  std::size_t count = 0;
+  ASSERT_TRUE(restored.load_snapshot(path, &count, &error)) << error;
+  EXPECT_EQ(count, cache.size());
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    const auto a = cache.lookup(k * 0x9E3779B97F4A7C15ull);
+    const auto b = restored.lookup(k * 0x9E3779B97F4A7C15ull);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value()) << "entry " << k << " lost in restore";
+    EXPECT_EQ(a->accepted, b->accepted);
+    EXPECT_EQ(a->accepted_by, b->accepted_by);
+  }
+  // Save the restored cache again: the snapshot is canonical, so the bytes
+  // must match the first file exactly.
+  const std::string path2 = path + ".again";
+  ASSERT_TRUE(restored.save_snapshot(path2, &error)) << error;
+  std::ifstream f1(path), f2(path2);
+  std::stringstream s1, s2;
+  s1 << f1.rdbuf();
+  s2 << f2.rdbuf();
+  EXPECT_EQ(s1.str(), s2.str());
+  std::filesystem::remove(path);
+  std::filesystem::remove(path2);
+}
+
+TEST(VerdictCacheSnapshot, RefusesTruncatedAndMalformedFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string good = (dir / "reconf_snap_good.v1").string();
+  svc::VerdictCache cache(32, 2);
+  cache.insert(0xABCDull, svc::CachedVerdict{true, "dp"});
+  cache.insert(0x1234ull, svc::CachedVerdict{false, ""});
+  ASSERT_TRUE(cache.save_snapshot(good));
+
+  // Truncate: drop the last line so `count` no longer matches.
+  std::ifstream in(good);
+  std::stringstream all;
+  all << in.rdbuf();
+  std::string text = all.str();
+  text.erase(text.rfind('\n', text.size() - 2) + 1);
+  const std::string bad = (dir / "reconf_snap_bad.v1").string();
+  std::ofstream(bad) << text;
+
+  svc::VerdictCache victim(32, 2);
+  std::string error;
+  EXPECT_FALSE(victim.load_snapshot(bad, nullptr, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  std::ofstream(bad) << "not a snapshot\n";
+  EXPECT_FALSE(victim.load_snapshot(bad, nullptr, &error));
+  std::ofstream(bad) << "reconf-verdict-cache v1\ncount 1\nzzzz 5 dp\n";
+  EXPECT_FALSE(victim.load_snapshot(bad, nullptr, &error));
+  EXPECT_FALSE(victim.load_snapshot((dir / "reconf_absent.v1").string(),
+                                    nullptr, &error));
+  std::filesystem::remove(good);
+  std::filesystem::remove(bad);
 }
 
 // -------------------------------------------------------- thread pool ----

@@ -6,6 +6,8 @@
 //   reconf_serve [<requests.ndjson>] [--threads=N] [--batch=N]
 //                [--cache-capacity=N] [--no-cache] [--shards=N]
 //                [--tests=LIST] [--fkf] [--explain] [--stats]
+//                [--max-queue=N] [--overload=block|shed]
+//                [--request-timeout-ms=N] [--cache-snapshot=PATH]
 //                [--metrics-out=PATH] [--trace-out=PATH]
 //
 //   --threads=N         worker threads for the batch pipeline (0 = cores)
@@ -26,6 +28,18 @@
 //                       answers the verdict only — identical verdicts, ~an
 //                       order of magnitude more throughput on misses
 //   --stats             print throughput and cache statistics to stderr
+//   --max-queue=N       bounded ingest queue: at most N parsed-but-unserved
+//                       request lines are held (default 4096)
+//   --overload=MODE     what a full queue does to the reader: "block"
+//                       (default) applies back-pressure to the input;
+//                       "shed" drops the request text and answers
+//                       {"id":...,"shed":"queue"} in stream order
+//   --request-timeout-ms=N  per-request deadline from the moment the line is
+//                       read; a request still unserved when a worker picks
+//                       it up is answered {"id":...,"shed":"deadline"}
+//   --cache-snapshot=PATH  warm-restore the verdict cache from PATH at
+//                       startup (missing file = cold start) and write a
+//                       crash-safe snapshot back to PATH at exit
 //   --metrics-out=PATH  at exit, write every registered metric in the
 //                       Prometheus text exposition format to PATH
 //                       ("-" = stderr) — the file a scraper's textfile
@@ -43,16 +57,30 @@
 //
 // Request/response format: see src/svc/codec.hpp. Malformed lines produce
 // an {"id":...,"error":...} response and the stream continues — one bad
-// client request must not take down the verdict service.
+// client request must not take down the verdict service. Lines beyond the
+// codec's 1 MiB cap are drained with bounded memory and answered with an
+// error carrying a best-effort id. A final line without a trailing newline
+// is still served.
+//
+// SIGINT/SIGTERM shut down gracefully: the reader stops, every request
+// already queued is drained through the pipeline and answered, metrics /
+// trace / cache-snapshot files are flushed, and the exit status is 0.
 //
 //   $ echo '{"id":"q","device":100,"tasks":[{"c":126,"a":9,...}]}' | ./reconf_serve --stats
 
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/engine.hpp"
@@ -70,6 +98,23 @@ namespace {
 
 using namespace reconf;
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Installs `on_signal` without SA_RESTART: a reader blocked on a quiet
+/// stdin must get EINTR (read fails, loop observes g_stop) instead of the
+/// kernel transparently restarting the read — std::signal's BSD semantics
+/// would leave the process stuck until the next input line.
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: reconf_serve [<requests.ndjson>] [--threads=N] "
@@ -78,6 +123,9 @@ int usage() {
                "[--shards=N]\n"
                "                    [--tests=LIST] [--fkf] [--explain] "
                "[--stats]\n"
+               "                    [--max-queue=N] [--overload=block|shed]\n"
+               "                    [--request-timeout-ms=N] "
+               "[--cache-snapshot=PATH]\n"
                "                    [--metrics-out=PATH] [--trace-out=PATH]\n"
                "see the header of tools/reconf_serve.cpp for details\n");
   return 2;
@@ -160,25 +208,134 @@ bool has_flag(const std::vector<std::string>& args, const std::string& name) {
   return false;
 }
 
+/// Best-effort id extraction from a line we will not (or cannot) fully
+/// parse — an oversized line's kept prefix, or a request shed before
+/// parsing. Only scans for a leading `"id":"..."` / `"id":123` member;
+/// anything else yields "" and the response goes out uncorrelated.
+std::string recover_id(const std::string& text) {
+  const std::size_t key = text.find("\"id\"");
+  if (key == std::string::npos) return {};
+  std::size_t i = key + 4;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size() || text[i] != ':') return {};
+  ++i;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size()) return {};
+  if (text[i] == '"') {
+    std::string id;
+    for (++i; i < text.size() && text[i] != '"'; ++i) {
+      if (text[i] == '\\') return {};  // escaped ids: not worth guessing
+      id.push_back(text[i]);
+    }
+    return i < text.size() ? id : std::string{};
+  }
+  std::string digits;
+  if (text[i] == '-') digits.push_back(text[i++]);
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    digits.push_back(text[i++]);
+  }
+  return digits == "-" ? std::string{} : digits;
+}
+
+/// One entry of the bounded ingest queue.
+struct QueueItem {
+  enum class Kind {
+    kRequest,    ///< payload = full request line
+    kShed,       ///< payload = best-effort id; text dropped on overflow
+    kOversized,  ///< payload = best-effort id from the kept prefix
+  };
+  Kind kind = Kind::kRequest;
+  std::string payload;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Bounded MPSC-ish ingest queue (one reader thread, one consumer). The
+/// bound counts only kRequest entries — the expensive payloads; shed and
+/// oversized markers carry a short id and must still be queued so responses
+/// keep stream order.
+struct IngestQueue {
+  std::mutex mutex;
+  std::condition_variable pushed;
+  std::condition_variable popped;
+  std::deque<QueueItem> items;
+  std::size_t queued_requests = 0;
+  bool done = false;
+};
+
 struct PendingLine {
-  std::string id;          // best-effort id for error responses
+  std::string id;          // best-effort id for error/shed responses
   std::string error;       // parse failure, when non-empty
+  std::string shed;        // shed reason, when non-empty
   svc::BatchRequest request;
 };
 
 /// Parses one input line; on CodecError the response slot carries the error
 /// plus whatever id the codec could recover, keeping error responses
 /// correlatable for pipelining clients.
-PendingLine ingest(const std::string& line) {
+PendingLine ingest(const QueueItem& item) {
   PendingLine p;
   try {
-    p.request = svc::parse_request_line(line);
+    p.request = svc::parse_request_line(item.payload);
+    p.request.deadline = item.deadline;
     p.id = p.request.id;
   } catch (const svc::CodecError& e) {
     p.error = e.what();
     p.id = e.id();
   }
   return p;
+}
+
+void reader_loop(std::istream& in, IngestQueue& q, std::size_t max_queue,
+                 bool shed_on_overload, long long timeout_ms) {
+  std::string text;
+  for (;;) {
+    if (g_stop) break;
+    const svc::LineStatus status = svc::read_bounded_line(in, text);
+    if (status == svc::LineStatus::kEof) break;
+    // A signal mid-read leaves a possibly-partial line; shutdown means
+    // "stop reading", so drop it rather than answer a spurious error.
+    if (g_stop) break;
+    if (status == svc::LineStatus::kLine && text.empty()) continue;
+    QueueItem item;
+    if (timeout_ms > 0) {
+      item.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(timeout_ms);
+    }
+    if (status == svc::LineStatus::kOversized) {
+      item.kind = QueueItem::Kind::kOversized;
+      item.payload = recover_id(text);
+    } else {
+      item.kind = QueueItem::Kind::kRequest;
+      item.payload = std::move(text);
+      text = std::string();
+    }
+    {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      if (item.kind == QueueItem::Kind::kRequest &&
+          q.queued_requests >= max_queue) {
+        if (shed_on_overload) {
+          // Overload shedding: the request text is dropped (bounded
+          // memory); only the id survives for the {"shed":"queue"} answer.
+          item.kind = QueueItem::Kind::kShed;
+          item.payload = recover_id(item.payload);
+        } else {
+          // Back-pressure: stop reading until the pipeline catches up.
+          q.popped.wait(lock, [&] {
+            return q.queued_requests < max_queue || g_stop != 0;
+          });
+          if (g_stop && q.queued_requests >= max_queue) break;
+        }
+      }
+      if (item.kind == QueueItem::Kind::kRequest) ++q.queued_requests;
+      q.items.push_back(std::move(item));
+    }
+    q.pushed.notify_one();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    q.done = true;
+  }
+  q.pushed.notify_all();
 }
 
 }  // namespace
@@ -194,7 +351,9 @@ int main(int argc, char** argv) {
                                     "--tests=",          "--no-cache",
                                     "--fkf",             "--stats",
                                     "--explain",         "--metrics-out=",
-                                    "--trace-out="};
+                                    "--trace-out=",      "--max-queue=",
+                                    "--overload=",       "--request-timeout-ms=",
+                                    "--cache-snapshot="};
       bool ok = false;
       for (const char* k : known) {
         const std::string key = k;
@@ -219,10 +378,20 @@ int main(int argc, char** argv) {
                                        .value_or(65536);
   const long long shards = flag_int(args, "shards").value_or(16);
   const long long threads = flag_int(args, "threads").value_or(0);
+  const long long max_queue = flag_int(args, "max-queue").value_or(4096);
+  const long long timeout_ms =
+      flag_int(args, "request-timeout-ms").value_or(0);
+  const std::string overload = flag_str(args, "overload");
+  if (!overload.empty() && overload != "block" && overload != "shed") {
+    std::fprintf(stderr, "invalid --overload mode '%s' (block|shed)\n",
+                 overload.c_str());
+    return usage();
+  }
   // Upper bounds keep absurd values from turning into an uncaught
   // length_error (batch reserve) or a thread-spawn storm.
   if (batch_size <= 0 || batch_size > 1'000'000 || cache_capacity < 0 ||
-      shards <= 0 || shards > 65'536 || threads < 0 || threads > 4'096) {
+      shards <= 0 || shards > 65'536 || threads < 0 || threads > 4'096 ||
+      max_queue <= 0 || max_queue > 10'000'000 || timeout_ms < 0) {
     return usage();
   }
 
@@ -269,33 +438,80 @@ int main(int argc, char** argv) {
 
   const std::string metrics_out = flag_str(args, "metrics-out");
   const std::string trace_out = flag_str(args, "trace-out");
+  const std::string cache_snapshot = flag_str(args, "cache-snapshot");
   if (!trace_out.empty()) obs::Tracer::instance().start();
+  if (!cache_snapshot.empty() && cache.enabled()) {
+    std::size_t restored = 0;
+    std::string snap_error;
+    std::ifstream probe(cache_snapshot);
+    if (probe.good()) {
+      probe.close();
+      if (cache.load_snapshot(cache_snapshot, &restored, &snap_error)) {
+        std::fprintf(stderr, "cache: warm-restored %zu entries from %s\n",
+                     restored, cache_snapshot.c_str());
+      } else {
+        std::fprintf(stderr, "cache: snapshot refused (%s); cold start\n",
+                     snap_error.c_str());
+      }
+    }  // missing file: cold start, snapshot written at exit
+  }
+
+  install_signal_handlers();
 
   Stopwatch clock;
   std::uint64_t served = 0;
   std::uint64_t errors = 0;
   std::uint64_t accepted = 0;
+  std::uint64_t sheds = 0;
+  obs::Counter& shed_queue_metric = obs::MetricsRegistry::instance().counter(
+      "reconf_svc_shed_total{reason=\"queue\"}");
 
-  std::vector<std::string> lines;
+  IngestQueue queue;
+  std::thread reader([&] {
+    reader_loop(in, queue, static_cast<std::size_t>(max_queue),
+                overload == "shed", timeout_ms);
+  });
+
+  std::vector<QueueItem> wave_items;
   std::vector<PendingLine> wave;
-  lines.reserve(static_cast<std::size_t>(batch_size));
-  std::string line;
-  bool more = true;
-  while (more) {
-    lines.clear();
-    while (lines.size() < static_cast<std::size_t>(batch_size) &&
-           std::getline(in, line)) {
-      if (line.empty()) continue;
-      lines.push_back(line);
+  for (;;) {
+    wave_items.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue.mutex);
+      queue.pushed.wait(lock,
+                        [&] { return !queue.items.empty() || queue.done; });
+      while (!queue.items.empty() &&
+             wave_items.size() < static_cast<std::size_t>(batch_size)) {
+        if (queue.items.front().kind == QueueItem::Kind::kRequest) {
+          --queue.queued_requests;
+        }
+        wave_items.push_back(std::move(queue.items.front()));
+        queue.items.pop_front();
+      }
+      if (wave_items.empty() && queue.done) break;
     }
-    more = !in.eof() && in.good();
-    if (lines.empty()) break;
+    queue.popped.notify_all();
 
     // Parsing is pure per line, so it fans out across the pool too — at
     // high cache-hit rates the JSON decode, not the analysis, dominates.
-    wave.assign(lines.size(), PendingLine{});
-    pool.parallel_for(lines.size(),
-                      [&](std::size_t i) { wave[i] = ingest(lines[i]); });
+    wave.assign(wave_items.size(), PendingLine{});
+    pool.parallel_for(wave_items.size(), [&](std::size_t i) {
+      const QueueItem& item = wave_items[i];
+      switch (item.kind) {
+        case QueueItem::Kind::kRequest:
+          wave[i] = ingest(item);
+          break;
+        case QueueItem::Kind::kShed:
+          wave[i].id = item.payload;
+          wave[i].shed = "queue";
+          break;
+        case QueueItem::Kind::kOversized:
+          wave[i].id = item.payload;
+          wave[i].error = "bad request: line exceeds " +
+                          std::to_string(svc::kMaxRequestLine) + " bytes";
+          break;
+      }
+    });
 
     // Only well-formed analysis lines enter the pipeline; responses are
     // emitted in input order regardless of completion order. Stats requests
@@ -303,7 +519,7 @@ int main(int argc, char** argv) {
     // a snapshot taken mid-wave would race the workers for no benefit.
     std::vector<svc::BatchRequest> requests;
     for (PendingLine& p : wave) {
-      if (p.error.empty() && !p.request.stats) {
+      if (p.error.empty() && p.shed.empty() && !p.request.stats) {
         requests.push_back(std::move(p.request));
       }
     }
@@ -314,7 +530,11 @@ int main(int argc, char** argv) {
     // order, so a single cursor maps them back.
     std::size_t next_verdict = 0;
     for (const PendingLine& p : wave) {
-      if (!p.error.empty()) {
+      if (!p.shed.empty()) {
+        std::cout << svc::format_shed_line(p.id, p.shed) << "\n";
+        ++sheds;
+        shed_queue_metric.inc();
+      } else if (!p.error.empty()) {
         std::cout << svc::format_error_line(p.id, p.error) << "\n";
         ++errors;
       } else if (p.request.stats) {
@@ -323,7 +543,12 @@ int main(int argc, char** argv) {
         std::cout << svc::format_stats_line(p.id) << "\n";
       } else {
         const svc::BatchVerdict& v = verdicts[next_verdict];
-        if (!v.error.empty()) {
+        if (!v.shed.empty()) {
+          // Deadline expired before a worker picked it up: shed, distinct
+          // from an error — the client may retry.
+          std::cout << svc::format_shed_line(v.id, v.shed) << "\n";
+          ++sheds;
+        } else if (!v.error.empty()) {
           // Analyzable selection collapsed to nothing (e.g. per-request
           // "tests":["gn1"] under --fkf): an error line, not a fake
           // inconclusive.
@@ -341,16 +566,18 @@ int main(int argc, char** argv) {
     }
     std::cout.flush();
   }
+  reader.join();
 
   if (has_flag(args, "stats")) {
     const double secs = clock.seconds();
     const auto cs = cache.stats();
     std::fprintf(stderr,
-                 "served %llu requests (%llu schedulable, %llu errors) in "
-                 "%.3fs — %.0f req/s\n",
+                 "served %llu requests (%llu schedulable, %llu errors, "
+                 "%llu shed) in %.3fs — %.0f req/s\n",
                  static_cast<unsigned long long>(served),
                  static_cast<unsigned long long>(accepted),
-                 static_cast<unsigned long long>(errors), secs,
+                 static_cast<unsigned long long>(errors),
+                 static_cast<unsigned long long>(sheds), secs,
                  secs > 0 ? static_cast<double>(served) / secs : 0.0);
     std::fprintf(stderr,
                  "cache: capacity=%zu shards=%zu size=%zu hits=%llu "
@@ -360,6 +587,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.evictions),
                  100.0 * cs.hit_rate());
+  }
+  if (!cache_snapshot.empty() && cache.enabled()) {
+    std::string snap_error;
+    if (!cache.save_snapshot(cache_snapshot, &snap_error)) {
+      std::fprintf(stderr, "cache: snapshot not written (%s)\n",
+                   snap_error.c_str());
+    }
   }
   if (!metrics_out.empty()) {
     svc::publish_cache_stats(cache);
