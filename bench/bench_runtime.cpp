@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/report_merge.hpp"
 #include "common/stopwatch.hpp"
 #include "fault/plan.hpp"
 #include "rt/runtime.hpp"
@@ -268,49 +269,15 @@ std::string fault_report_json(const std::vector<FaultCell>& cells, int seeds) {
   return out;
 }
 
-/// Splices `section_json` into `path` as the top-level `key`. Replaces an
-/// existing object of that key (brace counting from its opening '{') or
-/// inserts before the file's final '}'.
+/// Splices `section_json` into `path` as the top-level `key` via the shared
+/// report-merge helper, reporting failures on stderr.
 bool merge_into(const std::string& path, const std::string& key_name,
                 const std::string& section_json) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+  std::string error;
+  if (!merge_report_section(path, key_name, section_json, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return false;
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  std::string text = ss.str();
-
-  const std::string quoted = "\"" + key_name + "\"";
-  const std::string entry = quoted + ": " + section_json;
-  const std::size_t key = text.find(quoted);
-  if (key != std::string::npos) {
-    const std::size_t open = text.find('{', key);
-    if (open == std::string::npos) return false;
-    int depth = 0;
-    std::size_t end = open;
-    for (; end < text.size(); ++end) {
-      if (text[end] == '{') ++depth;
-      if (text[end] == '}' && --depth == 0) break;
-    }
-    if (depth != 0) return false;
-    text.replace(key, end + 1 - key, entry);
-  } else {
-    const std::size_t close = text.rfind('}');
-    if (close == std::string::npos) return false;
-    std::size_t tail = close;
-    while (tail > 0 && (text[tail - 1] == '\n' || text[tail - 1] == ' '))
-      --tail;
-    text.replace(tail, close - tail, ",\n  " + entry + "\n");
-  }
-
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << text;
   return true;
 }
 

@@ -1,0 +1,71 @@
+#include "common/report_merge.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace reconf {
+
+bool merge_report_section(const std::string& path, const std::string& key,
+                          const std::string& section_json,
+                          std::string* error) {
+  const std::string quoted = "\"" + key + "\"";
+  const std::string entry = quoted + ": " + section_json;
+
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+  if (text.empty()) {
+    text = "{\n  " + entry + "\n}\n";
+  } else {
+    const std::size_t at = text.find(quoted);
+    if (at != std::string::npos) {
+      const std::size_t open = text.find('{', at);
+      if (open == std::string::npos) {
+        if (error != nullptr) {
+          *error = path + ": key " + quoted + " is not an object";
+        }
+        return false;
+      }
+      int depth = 0;
+      std::size_t end = open;
+      for (; end < text.size(); ++end) {
+        if (text[end] == '{') ++depth;
+        if (text[end] == '}' && --depth == 0) break;
+      }
+      if (depth != 0) {
+        if (error != nullptr) {
+          *error = path + ": unbalanced braces under " + quoted;
+        }
+        return false;
+      }
+      text.replace(at, end + 1 - at, entry);
+    } else {
+      const std::size_t close = text.rfind('}');
+      if (close == std::string::npos) {
+        if (error != nullptr) *error = path + ": no closing brace";
+        return false;
+      }
+      std::size_t tail = close;
+      while (tail > 0 && (text[tail - 1] == '\n' || text[tail - 1] == ' ')) {
+        --tail;
+      }
+      text.replace(tail, close - tail, ",\n  " + entry + "\n");
+    }
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace reconf

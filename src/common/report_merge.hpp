@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+namespace reconf {
+
+/// Splices `section_json` into the JSON report at `path` as the top-level
+/// member `key`: replaces an existing object of that key (brace counting
+/// from its opening '{') or inserts it before the file's final '}'. A
+/// missing file is created as `{ "<key>": <section> }`, so the first tool
+/// to report starts the file and later tools extend it — the idiom behind
+/// BENCH_perf.json, which accumulates sections from bench_analysis,
+/// bench_runtime and reconf_loadgen without any tool owning the whole file.
+///
+/// The section must itself be a JSON object (starts with '{'); indentation
+/// inside it is the caller's business. Returns false with `error` set
+/// (when non-null) on I/O failure or when the existing file's brace
+/// structure cannot be matched.
+bool merge_report_section(const std::string& path, const std::string& key,
+                          const std::string& section_json,
+                          std::string* error = nullptr);
+
+}  // namespace reconf

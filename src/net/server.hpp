@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/batch.hpp"
+#include "svc/shard_cache.hpp"
+#include "svc/verdict_cache.hpp"
+
+namespace reconf::net {
+
+/// Configuration of the async serving tier (reconf_serve --listen).
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;     ///< 0 = ephemeral (tests); port() reports it
+  unsigned io_threads = 1;    ///< epoll/poll reader loops (parse + frame)
+  unsigned shards = 0;        ///< shard workers; 0 = hardware concurrency
+  std::size_t cache_capacity = 65536;  ///< split across shards; 0 disables
+  std::size_t ring_capacity = 4096;    ///< per (io, shard) request ring
+  bool shed_on_overload = false;  ///< full ring: shed (true) or flow-control
+                                  ///< the connection (false)
+  long long request_timeout_ms = 0;  ///< 0 = no per-request deadline
+  bool pin_cores = false;   ///< pin shard workers to cores (Linux only)
+  std::size_t max_outbuf = 4u << 20;  ///< per-conn write buffer cap before
+                                      ///< reads pause (flow control)
+  svc::BatchOptions options;  ///< pipeline analysis configuration
+};
+
+/// Monotonic serving totals (mirrors the stdio frontend's --stats line).
+struct ServerTotals {
+  std::uint64_t connections = 0;
+  std::uint64_t served = 0;    ///< responses emitted (verdict/error/shed/stats)
+  std::uint64_t accepted = 0;  ///< schedulable verdicts
+  std::uint64_t errors = 0;
+  std::uint64_t sheds = 0;
+};
+
+/// Multi-core NDJSON admission-control server.
+///
+/// Architecture (one box per thread):
+///
+///   accept ─▶ [ io thread 0..I )  level-triggered epoll (poll fallback)
+///              frame NDJSON lines (1 MiB cap), parse, cache-key route
+///                 │  SPSC ring per (io, shard): requests
+///                 ▼
+///            [ shard worker 0..S )  consistent-hash owner of its key range
+///              private contention-free ShardCache + AnalysisEngine
+///                 │  SPSC ring per (shard, io): responses
+///                 ▼
+///            [ io thread ]  per-connection in-order reassembly (seq),
+///              write buffers with partial-write handling
+///
+/// Requests are routed by jump-consistent-hash of the verdict-cache key
+/// (canonical taskset hash mixed with the resolved engine fingerprint), so
+/// one shard owns every duplicate of a (taskset, lineup) pair: its cache
+/// partition needs no locks, hit/miss patterns are deterministic per key,
+/// and snapshot restore — which places stored entries by the same key —
+/// always lands a verdict on the shard its future duplicates route to.
+/// Responses carry (connection, seq) and are re-ordered per
+/// connection before writing — the wire contract (responses in request
+/// order) survives out-of-order shard completion. Stats requests are
+/// answered by the io thread at emission time, after everything ahead of
+/// them on their connection. Overload behavior, per-request deadlines,
+/// graceful drain, obs counters/spans and cache snapshots all match the
+/// stdio frontend.
+class AsyncServer {
+ public:
+  explicit AsyncServer(ServerConfig config);
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Binds and spawns the io threads and shard workers. Returns false with
+  /// `error` set on bind failure.
+  bool start(std::string* error);
+
+  /// The bound port (after start(); useful with config.port = 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests a graceful drain: stop accepting and reading, answer
+  /// everything already parsed, flush, then stop. Async-signal-safe-ish
+  /// (one relaxed store); the actual teardown happens in stop().
+  void request_stop() noexcept;
+
+  /// Blocks until the drain completes and every thread has joined. Safe to
+  /// call once; implied by the destructor.
+  void stop();
+
+  /// True once request_stop() was called (or a fatal accept error).
+  [[nodiscard]] bool stopping() const noexcept;
+
+  [[nodiscard]] ServerTotals totals() const;
+
+  /// Per-shard cache statistics, shard-index order (live; racy snapshot).
+  [[nodiscard]] std::vector<svc::CacheStats> shard_cache_stats() const;
+
+  /// Aggregate over shard_cache_stats().
+  [[nodiscard]] svc::CacheStats cache_stats() const;
+
+  /// Poller backend of the io threads ("epoll"/"poll").
+  [[nodiscard]] const char* backend() const noexcept;
+
+  /// CPU ids the shard workers are pinned to (-1 = unpinned), shard order.
+  [[nodiscard]] std::vector<int> pinned_cpus() const;
+
+  /// Warm-restores the per-shard caches from a v1 snapshot file, routing
+  /// every key into the CURRENT shard count regardless of the writer's
+  /// topology. Call before start(). Missing file = cold start (returns
+  /// true, 0 restored); a malformed file is refused.
+  bool load_cache_snapshot(const std::string& path, std::size_t* restored,
+                           std::string* error);
+
+  /// Writes the merged per-shard caches as a v1 snapshot. Call after
+  /// stop() (workers quiesced).
+  bool save_cache_snapshot(const std::string& path, std::string* error);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace reconf::net

@@ -14,8 +14,9 @@ namespace reconf::svc {
 namespace {
 
 /// Serving-tier metric handles, resolved once per process (function-local
-/// statics; thread-safe init) — evaluate_with then pays relaxed increments
-/// and, while obs is enabled, two clock reads for the latency histogram.
+/// statics; thread-safe init) — evaluate_with_engine then pays relaxed
+/// increments and, while obs is enabled, two clock reads for the latency
+/// histogram.
 struct SvcMetrics {
   obs::Counter& requests =
       obs::MetricsRegistry::instance().counter("reconf_svc_requests_total");
@@ -36,10 +37,11 @@ struct SvcMetrics {
   }
 };
 
-/// Core evaluation against a prebuilt engine: cache lookup keyed by
-/// (canonical taskset hash, engine fingerprint), analysis on miss.
-BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
-                           const BatchRequest& request, VerdictCache* cache) {
+}  // namespace
+
+BatchVerdict evaluate_with_engine(const analysis::AnalysisEngine& engine,
+                                  const BatchRequest& request,
+                                  VerdictStore* cache) {
   const obs::Span request_span("svc.request", "svc");
   const SvcMetrics& metrics = SvcMetrics::get();
   const bool timed = obs::enabled();
@@ -111,6 +113,8 @@ BatchVerdict evaluate_with(const analysis::AnalysisEngine& engine,
   return out;
 }
 
+namespace {
+
 /// Engine for a request that names its own tests: the pipeline request with
 /// the lineup overridden.
 analysis::AnalysisEngine engine_for(const BatchRequest& request,
@@ -136,17 +140,17 @@ std::uint64_t verdict_cache_key(const TaskSet& ts, Device device,
                          analysis::options_fingerprint(options, for_fkf));
 }
 
-BatchVerdict evaluate_request(const BatchRequest& request, VerdictCache* cache,
+BatchVerdict evaluate_request(const BatchRequest& request, VerdictStore* cache,
                               const BatchOptions& options) {
   if (request.tests.empty()) {
-    return evaluate_with(analysis::AnalysisEngine(options.request), request,
-                         cache);
+    return evaluate_with_engine(analysis::AnalysisEngine(options.request),
+                                request, cache);
   }
-  return evaluate_with(engine_for(request, options), request, cache);
+  return evaluate_with_engine(engine_for(request, options), request, cache);
 }
 
 std::vector<BatchVerdict> run_batch(std::span<const BatchRequest> requests,
-                                    VerdictCache* cache, ThreadPool& pool,
+                                    VerdictStore* cache, ThreadPool& pool,
                                     const BatchOptions& options) {
   const obs::Span batch_span("svc.run_batch", "svc");
   // One shared engine serves every default-lineup request in the batch;
@@ -167,7 +171,7 @@ std::vector<BatchVerdict> run_batch(std::span<const BatchRequest> requests,
     const BatchRequest& request = requests[i];
     const analysis::AnalysisEngine& engine =
         request.tests.empty() ? shared : custom.at(request.tests);
-    results[i] = evaluate_with(engine, request, cache);
+    results[i] = evaluate_with_engine(engine, request, cache);
   });
   return results;
 }

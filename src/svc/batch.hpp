@@ -129,17 +129,31 @@ struct BatchOptions {
     const analysis::CompositeOptions& options, bool for_fkf);
 
 /// Evaluates every request, fanning out across `pool` and consulting/filling
-/// `cache` (nullptr to always analyze). Results are indexed by request —
-/// response order never depends on completion order. The shared engine for
-/// default-lineup requests is built once per batch.
+/// `cache` (nullptr to always analyze; any VerdictStore — the striped-lock
+/// VerdictCache for pool workers, a per-shard ShardCache in the async
+/// tier). Results are indexed by request — response order never depends on
+/// completion order. The shared engine for default-lineup requests is built
+/// once per batch.
 [[nodiscard]] std::vector<BatchVerdict> run_batch(
-    std::span<const BatchRequest> requests, VerdictCache* cache,
+    std::span<const BatchRequest> requests, VerdictStore* cache,
     ThreadPool& pool, const BatchOptions& options = {});
 
 /// Single-request path sharing the cache logic of `run_batch` (used by the
-/// streaming frontend when batching is disabled and by run_batch itself).
+/// streaming frontend when batching is disabled, by the async tier's shard
+/// workers, and by run_batch itself).
 [[nodiscard]] BatchVerdict evaluate_request(const BatchRequest& request,
-                                            VerdictCache* cache,
+                                            VerdictStore* cache,
                                             const BatchOptions& options = {});
+
+/// Core evaluation against a caller-held engine: cache lookup keyed by
+/// (canonical taskset hash, engine fingerprint), analysis on miss. The
+/// request's `tests` field is NOT consulted — the caller already resolved
+/// the engine. This is the one verdict-producing path in the serving tier;
+/// every frontend (batch pipeline, async shard workers) funnels through it,
+/// which is what makes sharded-vs-striped verdict parity a structural
+/// property rather than a test-enforced one.
+[[nodiscard]] BatchVerdict evaluate_with_engine(
+    const analysis::AnalysisEngine& engine, const BatchRequest& request,
+    VerdictStore* cache);
 
 }  // namespace reconf::svc

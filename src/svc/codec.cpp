@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <utility>
@@ -207,6 +208,92 @@ LineStatus read_bounded_line(std::istream& in, std::string& line,
   return overflow ? LineStatus::kOversized : LineStatus::kLine;
 }
 
+void StreamFramer::feed(const char* data, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    const auto* nl = static_cast<const char*>(
+        std::memchr(data + i, '\n', n - i));
+    if (discarding_) {
+      // Over-cap line: drop bytes unbuffered until its newline.
+      if (nl == nullptr) return;
+      i = static_cast<std::size_t>(nl - data) + 1;
+      ready_.emplace_back(std::move(oversized_prefix_),
+                          LineStatus::kOversized);
+      oversized_prefix_.clear();
+      discarding_ = false;
+      continue;
+    }
+    const std::size_t end =
+        nl != nullptr ? static_cast<std::size_t>(nl - data) : n;
+    const std::size_t len = end - i;
+    if (partial_.size() + len > max_len_) {
+      // Keep exactly the cap's worth of prefix (id recovery), discard the
+      // rest of this line.
+      partial_.append(data + i, max_len_ - partial_.size());
+      oversized_prefix_ = std::move(partial_);
+      partial_.clear();
+      if (nl != nullptr) {
+        ready_.emplace_back(std::move(oversized_prefix_),
+                            LineStatus::kOversized);
+        oversized_prefix_.clear();
+        i = end + 1;
+      } else {
+        discarding_ = true;
+        i = n;
+      }
+      continue;
+    }
+    partial_.append(data + i, len);
+    if (nl != nullptr) {
+      ready_.emplace_back(std::move(partial_), LineStatus::kLine);
+      partial_.clear();
+      i = end + 1;
+    } else {
+      i = n;
+    }
+  }
+}
+
+bool StreamFramer::next(std::string& line, LineStatus& status) {
+  if (ready_head_ >= ready_.size()) {
+    if (!ready_.empty()) {
+      ready_.clear();
+      ready_head_ = 0;
+    }
+    return false;
+  }
+  line = std::move(ready_[ready_head_].first);
+  status = ready_[ready_head_].second;
+  ++ready_head_;
+  return true;
+}
+
+bool StreamFramer::finish(std::string& line, LineStatus& status) {
+  if (next(line, status)) return true;
+  if (discarding_) {
+    line = std::move(oversized_prefix_);
+    oversized_prefix_.clear();
+    discarding_ = false;
+    status = LineStatus::kOversized;
+    return true;
+  }
+  if (!partial_.empty()) {
+    line = std::move(partial_);
+    partial_.clear();
+    status = LineStatus::kLine;
+    return true;
+  }
+  return false;
+}
+
+std::size_t StreamFramer::buffered() const noexcept {
+  std::size_t total = partial_.size() + oversized_prefix_.size();
+  for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
+    total += ready_[i].first.size();
+  }
+  return total;
+}
+
 BatchRequest parse_request_line(const std::string& line) {
   if (line.size() > kMaxRequestLine) {
     throw CodecError("bad request: line exceeds " +
@@ -329,6 +416,31 @@ std::string format_shed_line(const std::string& id,
                              const std::string& reason) {
   return "{\"id\":\"" + json_escape(id) + "\",\"shed\":\"" +
          json_escape(reason) + "\"}";
+}
+
+std::string recover_request_id(const std::string& text) {
+  const std::size_t key = text.find("\"id\"");
+  if (key == std::string::npos) return {};
+  std::size_t i = key + 4;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size() || text[i] != ':') return {};
+  ++i;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size()) return {};
+  if (text[i] == '"') {
+    std::string id;
+    for (++i; i < text.size() && text[i] != '"'; ++i) {
+      if (text[i] == '\\') return {};  // escaped ids: not worth guessing
+      id.push_back(text[i]);
+    }
+    return i < text.size() ? id : std::string{};
+  }
+  std::string digits;
+  if (text[i] == '-') digits.push_back(text[i++]);
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    digits.push_back(text[i++]);
+  }
+  return digits == "-" ? std::string{} : digits;
 }
 
 }  // namespace reconf::svc

@@ -4,6 +4,8 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "svc/batch.hpp"
 #include "task/taskset.hpp"
@@ -30,6 +32,48 @@ enum class LineStatus {
 /// that exits after its last request must not have that request dropped.
 LineStatus read_bounded_line(std::istream& in, std::string& line,
                              std::size_t max_len = kMaxRequestLine);
+
+/// Incremental NDJSON line framing over byte chunks — the socket-side
+/// sibling of read_bounded_line, with identical cap semantics: a line of
+/// exactly max_len bytes is still kLine; one byte more flips it to
+/// kOversized, keeping the first max_len bytes (so the id stays
+/// recoverable) and discarding the rest of the line unbuffered. Memory is
+/// bounded by max_len regardless of what the peer sends.
+///
+///   framer.feed(buf, n);              // after every read()
+///   while (framer.next(line, status)) // complete lines, in order
+///     ...
+///   if (eof && framer.finish(line, status))  // final unterminated line
+///     ...
+class StreamFramer {
+ public:
+  explicit StreamFramer(std::size_t max_len = kMaxRequestLine)
+      : max_len_(max_len) {}
+
+  /// Appends `n` bytes from the stream.
+  void feed(const char* data, std::size_t n);
+
+  /// Pops the next complete line (kLine or kOversized). Returns false when
+  /// no complete line is buffered.
+  bool next(std::string& line, LineStatus& status);
+
+  /// At end of stream: flushes a final line without a trailing newline —
+  /// a client that exits after its last request must not have that request
+  /// dropped. Returns false when nothing was pending.
+  bool finish(std::string& line, LineStatus& status);
+
+  /// Bytes currently buffered (partial line; complete lines not yet
+  /// popped). Flow-control input for the server.
+  [[nodiscard]] std::size_t buffered() const noexcept;
+
+ private:
+  std::size_t max_len_;
+  std::string partial_;               ///< bytes of the in-progress line
+  std::string oversized_prefix_;      ///< kept prefix while discarding
+  bool discarding_ = false;           ///< inside an over-cap line
+  std::vector<std::pair<std::string, LineStatus>> ready_;
+  std::size_t ready_head_ = 0;        ///< pop cursor into ready_
+};
 
 /// Thrown by `parse_request_line` on malformed input. The message names the
 /// offending field or byte offset; the streaming frontend turns it into an
@@ -105,5 +149,11 @@ class CodecError : public std::runtime_error {
 
 /// JSON string-body escaping (quotes, backslash, control characters).
 [[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Best-effort id extraction from a line that will not (or cannot) be fully
+/// parsed — an oversized line's kept prefix, or a request shed before
+/// parsing. Only scans for a leading `"id":"..."` / `"id":123` member;
+/// anything else yields "" and the response goes out uncorrelated.
+[[nodiscard]] std::string recover_request_id(const std::string& text);
 
 }  // namespace reconf::svc

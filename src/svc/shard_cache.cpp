@@ -1,0 +1,53 @@
+#include "svc/shard_cache.hpp"
+
+#include <algorithm>
+
+#include "svc/shard_route.hpp"
+
+namespace reconf::svc {
+
+bool save_shard_snapshot(const std::vector<ShardCache*>& shards,
+                         const std::string& path, std::string* error) {
+  // Same global-recency approximation as VerdictCache::save_snapshot:
+  // interleave the shards' LRU lists rank-by-rank from the least-recent
+  // end, so a capacity-limited restore (under any topology) keeps the most
+  // recently used entries.
+  std::vector<std::vector<ShardCache::Entry>> per_shard;
+  per_shard.reserve(shards.size());
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const ShardCache* cache : shards) {
+    per_shard.push_back(cache->entries_lru_to_mru());
+    total += per_shard.back().size();
+    longest = std::max(longest, per_shard.back().size());
+  }
+  std::vector<SnapshotEntry> merged;
+  merged.reserve(total);
+  for (std::size_t rank = 0; rank < longest; ++rank) {
+    for (const auto& v : per_shard) {
+      if (rank < v.size()) merged.push_back({v[rank].key, v[rank].verdict});
+    }
+  }
+  return write_snapshot_entries(path, merged, error);
+}
+
+bool load_shard_snapshot(const std::vector<ShardCache*>& shards,
+                         const std::string& path, std::size_t* restored,
+                         std::string* error) {
+  if (restored != nullptr) *restored = 0;
+  std::vector<SnapshotEntry> entries;
+  if (!read_snapshot_entries(path, entries, error)) return false;
+  // Route every key by the CURRENT shard count — never by whatever
+  // topology the writer had. The jump hash keeps ~ (1 - S/S') of the keys
+  // on their old shard when growing from S to S' shards, but correctness
+  // never depends on that: the router is the single source of placement
+  // for restore and live traffic alike.
+  const auto n = static_cast<std::uint32_t>(shards.size());
+  for (SnapshotEntry& e : entries) {
+    shards[shard_for_key(e.key, n)]->insert(e.key, std::move(e.verdict));
+  }
+  if (restored != nullptr) *restored = entries.size();
+  return true;
+}
+
+}  // namespace reconf::svc

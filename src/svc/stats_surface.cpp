@@ -1,6 +1,8 @@
 #include "svc/stats_surface.hpp"
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,45 @@ void publish_cache_stats(const VerdictCache& cache) {
   }
 }
 
+void publish_shard_cache_stats(const std::vector<CacheStats>& shards,
+                               std::size_t total_capacity) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
+  CacheStats total;
+  std::uint64_t peak_lookups = 0;
+  for (const CacheStats& s : shards) {
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    peak_lookups = std::max(peak_lookups, s.lookups());
+  }
+  metrics.gauge("reconf_cache_entries")
+      .set(static_cast<double>(total.entries));
+  metrics.gauge("reconf_cache_capacity")
+      .set(static_cast<double>(total_capacity));
+  metrics.gauge("reconf_cache_hit_rate").set(total.hit_rate());
+  const double imbalance =
+      total.lookups() == 0
+          ? 0.0
+          : static_cast<double>(peak_lookups) /
+                (static_cast<double>(total.lookups()) /
+                 static_cast<double>(shards.empty() ? 1 : shards.size()));
+  metrics.gauge("reconf_cache_shard_imbalance").set(imbalance);
+
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    metrics.gauge("reconf_cache_shard_hits" + label)
+        .set(static_cast<double>(shards[s].hits));
+    metrics.gauge("reconf_cache_shard_misses" + label)
+        .set(static_cast<double>(shards[s].misses));
+    metrics.gauge("reconf_cache_shard_evictions" + label)
+        .set(static_cast<double>(shards[s].evictions));
+    metrics.gauge("reconf_cache_shard_entries" + label)
+        .set(static_cast<double>(shards[s].entries));
+  }
+}
+
 void publish_pool_stats(const ThreadPool& pool, double elapsed_seconds) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
   const PoolStats stats = pool.stats();
@@ -50,6 +91,11 @@ void publish_pool_stats(const ThreadPool& pool, double elapsed_seconds) {
       .set(static_cast<double>(stats.busy_ns) * 1e-9);
   metrics.gauge("reconf_pool_utilization")
       .set(stats.utilization(elapsed_seconds, pool.thread_count()));
+  for (std::size_t t = 0; t < stats.pinned_cpus.size(); ++t) {
+    metrics.gauge("reconf_pool_thread_cpu{thread=\"" + std::to_string(t) +
+                  "\"}")
+        .set(static_cast<double>(stats.pinned_cpus[t]));
+  }
 }
 
 std::string format_stats_line(const std::string& id) {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "svc/verdict_cache.hpp"
@@ -18,6 +20,15 @@ namespace reconf::svc {
 /// the lookup-traffic imbalance across shards, and per-shard
 /// hits/misses/evictions/entries labelled `{shard="N"}`.
 void publish_cache_stats(const VerdictCache& cache);
+
+/// The async tier's spelling of publish_cache_stats: the same
+/// `reconf_cache_*` gauge names fed from a fleet of per-shard caches
+/// (shard-index order), so a `stats` response has the same shape whichever
+/// serving frontend answered it. `total_capacity` is the configured
+/// capacity across all shards; imbalance is peak/mean shard lookups, as in
+/// VerdictCache::load_imbalance.
+void publish_shard_cache_stats(const std::vector<CacheStats>& shards,
+                               std::size_t total_capacity);
 
 /// Publishes `reconf_pool_*` gauges: thread count, current and high-water
 /// queue depth, submitted/executed job counts, busy time and the worker

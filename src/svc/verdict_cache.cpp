@@ -141,31 +141,27 @@ bool set_error(std::string* error, const std::string& what) {
 
 }  // namespace
 
-bool VerdictCache::save_snapshot(const std::string& path,
-                                 std::string* error) const {
-  // Serialize under the shard locks into memory first (no I/O while locked),
-  // least recently used first so a capacity-limited restore keeps the most
-  // recent entries.
+bool write_snapshot_entries(const std::string& path,
+                            const std::vector<SnapshotEntry>& entries,
+                            std::string* error) {
   std::string body;
-  std::size_t count = 0;
-  for (const auto& sh : shards_) {
-    const std::lock_guard<std::mutex> lock(sh->mutex);
-    for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
-      char key_hex[17];
-      std::snprintf(key_hex, sizeof key_hex, "%016llx",
-                    static_cast<unsigned long long>(it->first));
-      body += key_hex;
-      body += it->second.accepted ? " 1 " : " 0 ";
-      body += it->second.accepted_by.empty() ? "-" : it->second.accepted_by;
-      body += '\n';
-      ++count;
-    }
+  body.reserve(entries.size() * 24);
+  for (const SnapshotEntry& e : entries) {
+    char key_hex[17];
+    std::snprintf(key_hex, sizeof key_hex, "%016llx",
+                  static_cast<unsigned long long>(e.key));
+    body += key_hex;
+    body += e.verdict.accepted ? " 1 " : " 0 ";
+    body += e.verdict.accepted_by.empty() ? "-" : e.verdict.accepted_by;
+    body += '\n';
   }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return set_error(error, "cannot open " + tmp);
-    out << kSnapshotHeader << "\n" << "count " << count << "\n" << body;
+    out << kSnapshotHeader << "\n"
+        << "count " << entries.size() << "\n"
+        << body;
     out.flush();
     if (!out) return set_error(error, "write failed for " + tmp);
   }
@@ -176,9 +172,10 @@ bool VerdictCache::save_snapshot(const std::string& path,
   return true;
 }
 
-bool VerdictCache::load_snapshot(const std::string& path,
-                                 std::size_t* restored, std::string* error) {
-  if (restored != nullptr) *restored = 0;
+bool read_snapshot_entries(const std::string& path,
+                           std::vector<SnapshotEntry>& entries,
+                           std::string* error) {
+  entries.clear();
   std::ifstream in(path);
   if (!in) return set_error(error, "cannot open " + path);
   std::string line;
@@ -190,7 +187,6 @@ bool VerdictCache::load_snapshot(const std::string& path,
       std::sscanf(line.c_str(), "count %zu", &count) != 1) {
     return set_error(error, path + ": missing count header");
   }
-  std::size_t seen = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream fields(line);
@@ -207,16 +203,62 @@ bool VerdictCache::load_snapshot(const std::string& path,
                     reinterpret_cast<unsigned long long*>(&key)) != 1) {
       return set_error(error, path + ": bad key '" + key_hex + "'");
     }
-    insert(key, CachedVerdict{accepted == 1,
-                              accepted_by == "-" ? "" : accepted_by});
-    ++seen;
+    entries.push_back(
+        {key, CachedVerdict{accepted == 1,
+                            accepted_by == "-" ? "" : accepted_by}});
   }
-  if (seen != count) {
+  if (entries.size() != count) {
     return set_error(error, path + ": truncated snapshot (" +
-                                std::to_string(seen) + " of " +
+                                std::to_string(entries.size()) + " of " +
                                 std::to_string(count) + " entries)");
   }
-  if (restored != nullptr) *restored = seen;
+  return true;
+}
+
+bool VerdictCache::save_snapshot(const std::string& path,
+                                 std::string* error) const {
+  // Serialize under the shard locks into memory first (no I/O while
+  // locked), each shard least recently used first.
+  std::vector<std::vector<SnapshotEntry>> per_shard(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& sh = shards_[s];
+    const std::lock_guard<std::mutex> lock(sh->mutex);
+    per_shard[s].reserve(sh->lru.size());
+    for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
+      per_shard[s].push_back({it->first, it->second});
+    }
+  }
+  // Interleave shards rank-by-rank from the least-recent end: recency is
+  // only ordered within a shard, so the round-robin merge is the best
+  // topology-free global order available — a restore into a different
+  // shard count (or a smaller capacity) keeps approximately the most
+  // recent entries instead of whichever shard was serialized last.
+  std::vector<SnapshotEntry> merged;
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const auto& v : per_shard) {
+    total += v.size();
+    longest = std::max(longest, v.size());
+  }
+  merged.reserve(total);
+  for (std::size_t rank = 0; rank < longest; ++rank) {
+    for (const auto& v : per_shard) {
+      if (rank < v.size()) merged.push_back(v[rank]);
+    }
+  }
+  return write_snapshot_entries(path, merged, error);
+}
+
+bool VerdictCache::load_snapshot(const std::string& path,
+                                 std::size_t* restored, std::string* error) {
+  if (restored != nullptr) *restored = 0;
+  std::vector<SnapshotEntry> entries;
+  if (!read_snapshot_entries(path, entries, error)) return false;
+  // Replayed through insert(), which routes by THIS cache's shard map and
+  // enforces its capacity — a snapshot written under any topology restores
+  // into the current one exactly as live traffic would have populated it.
+  for (SnapshotEntry& e : entries) insert(e.key, std::move(e.verdict));
+  if (restored != nullptr) *restored = entries.size();
   return true;
 }
 

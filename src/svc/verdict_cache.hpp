@@ -44,6 +44,26 @@ struct CacheStats {
   }
 };
 
+/// The verdict-cache contract the batch pipeline and the serving tiers
+/// evaluate against: a keyed store of CachedVerdict. Two implementations
+/// exist — the thread-safe striped-lock VerdictCache below (shared across a
+/// pool of workers) and the single-owner, contention-free ShardCache
+/// (svc/shard_cache.hpp) that the async serving tier gives each shard
+/// worker. The evaluation path (svc/batch.cpp evaluate_with) is written
+/// against this interface so the two worlds cannot drift: identical
+/// verdicts for identical request logs is a tested invariant.
+class VerdictStore {
+ public:
+  virtual ~VerdictStore() = default;
+
+  /// Returns the cached verdict for `key` (refreshing recency), or nullopt.
+  [[nodiscard]] virtual std::optional<CachedVerdict> lookup(
+      std::uint64_t key) = 0;
+
+  /// Inserts or refreshes `key`, evicting per the implementation's policy.
+  virtual void insert(std::uint64_t key, CachedVerdict verdict) = 0;
+};
+
 /// Sharded, striped-lock LRU cache from analysis-problem key to verdict.
 ///
 /// Keys are `svc::verdict_cache_key` values (canonical taskset hash mixed
@@ -56,7 +76,7 @@ struct CacheStats {
 /// A capacity of 0 disables the cache: lookups miss, inserts are dropped.
 /// Total capacity is split evenly across shards, so per-shard eviction
 /// approximates (not exactly equals) global LRU — the standard trade-off.
-class VerdictCache {
+class VerdictCache : public VerdictStore {
  public:
   /// `shards` is rounded up to a power of two; at most one shard per
   /// capacity slot is kept so tiny caches still evict in LRU order.
@@ -66,11 +86,12 @@ class VerdictCache {
   VerdictCache& operator=(const VerdictCache&) = delete;
 
   /// Returns the cached verdict and refreshes its recency, or nullopt.
-  [[nodiscard]] std::optional<CachedVerdict> lookup(std::uint64_t key);
+  [[nodiscard]] std::optional<CachedVerdict> lookup(std::uint64_t key)
+      override;
 
   /// Inserts or refreshes `key`, evicting the shard's least recently used
   /// entry when the shard is full.
-  void insert(std::uint64_t key, CachedVerdict verdict);
+  void insert(std::uint64_t key, CachedVerdict verdict) override;
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -96,17 +117,24 @@ class VerdictCache {
   void clear();
 
   /// Crash-safe snapshot of the cache contents (not the statistics) to
-  /// `path`: a versioned text format, entries per shard from least to most
-  /// recently used, written to `path`.tmp and atomically renamed over the
-  /// target — a crash mid-write never corrupts a previous good snapshot.
-  /// Returns false (with `error` set when non-null) on I/O failure.
+  /// `path`: a versioned text format written to `path`.tmp and atomically
+  /// renamed over the target — a crash mid-write never corrupts a previous
+  /// good snapshot. Returns false (with `error` set when non-null) on I/O
+  /// failure.
   ///
   ///   reconf-verdict-cache v1
   ///   count <N>
   ///   <%016x key> <0|1 accepted> <accepted_by or "-">
   ///
-  /// Warm restore with load_snapshot(); save → load → re-query is
-  /// bit-identical (same verdicts for the same keys).
+  /// The format is topology-free: entries carry no shard index, and are
+  /// ordered by interleaving the shards' LRU lists rank-by-rank from the
+  /// least-recent end — a global-recency approximation. load_snapshot()
+  /// replays them through insert(), which routes by the RESTORING cache's
+  /// shard map, so a snapshot taken at S shards restores correctly into S'
+  /// shards and a capacity-limited restore keeps (approximately) the most
+  /// recently used entries rather than whichever shard happened to be
+  /// written last. Save → load → re-query is bit-identical (same verdicts
+  /// for the same keys).
   bool save_snapshot(const std::string& path,
                      std::string* error = nullptr) const;
 
@@ -143,5 +171,27 @@ class VerdictCache {
   std::uint64_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
+
+/// One line of the v1 snapshot format — shared between VerdictCache and the
+/// async tier's per-shard caches (svc/shard_cache.hpp) so a snapshot taken
+/// by either world warm-restores the other.
+struct SnapshotEntry {
+  std::uint64_t key = 0;
+  CachedVerdict verdict;
+};
+
+/// Writes `entries` (least-recent first) as a crash-safe v1 snapshot
+/// (tmp + rename). Returns false with `error` set on I/O failure.
+bool write_snapshot_entries(const std::string& path,
+                            const std::vector<SnapshotEntry>& entries,
+                            std::string* error = nullptr);
+
+/// Reads a v1 snapshot into `entries` (file order, least-recent first).
+/// Refuses — returning false, leaving `entries` unspecified — truncated or
+/// malformed files: a half-written snapshot must not warm a cache with
+/// silently missing entries.
+bool read_snapshot_entries(const std::string& path,
+                           std::vector<SnapshotEntry>& entries,
+                           std::string* error = nullptr);
 
 }  // namespace reconf::svc

@@ -9,6 +9,7 @@
 //                [--max-queue=N] [--overload=block|shed]
 //                [--request-timeout-ms=N] [--cache-snapshot=PATH]
 //                [--metrics-out=PATH] [--trace-out=PATH]
+//                [--listen=[HOST:]PORT] [--io-threads=N] [--pin-cores]
 //
 //   --threads=N         worker threads for the batch pipeline (0 = cores)
 //   --batch=N           requests evaluated per pipeline wave (default 256;
@@ -50,6 +51,33 @@
 //                       load it in Perfetto (ui.perfetto.dev) or
 //                       chrome://tracing
 //
+// TCP mode (the multi-core serving tier, src/net/server.hpp):
+//
+//   --listen=[HOST:]PORT  serve NDJSON over TCP instead of stdio: a
+//                       level-triggered epoll event loop (poll(2) fallback;
+//                       RECONF_NET_POLL=1 forces it) feeds shard workers
+//                       over SPSC rings, requests routed by
+//                       consistent-hash of the canonical taskset hash so
+//                       each shard owns a private lock-free cache
+//                       partition. PORT 0 binds an ephemeral port (printed
+//                       on stderr as "listening on HOST:PORT ..."). In this
+//                       mode --shards=N sets the shard worker count
+//                       (default 0 = cores), --max-queue=N the per-ring
+//                       depth, and --overload the full-ring policy: "block"
+//                       pauses reading the offending connection (TCP
+//                       back-pressure), "shed" answers {"shed":"queue"}.
+//                       --batch and --threads are stdio-mode flags and are
+//                       ignored here.
+//   --io-threads=N      event-loop threads framing/parsing connections
+//                       (TCP mode; default 1)
+//   --port-file=PATH    after binding, write the actual port to PATH —
+//                       how scripts pair --listen=127.0.0.1:0 with a
+//                       reconf_loadgen --port=$(cat PATH)
+//   --pin-cores         pin shard workers (TCP mode) or pool workers
+//                       (stdio mode) to cores via pthread_setaffinity_np;
+//                       a no-op off Linux. Pinned ids surface in PoolStats
+//                       / the reconf_net_shard_cpu gauges
+//
 // A request line of {"id":"...","stats":true} is answered in stream order
 // with a live metrics snapshot ({"id":...,"stats":{...}}) instead of a
 // verdict: per-analyzer verdict counters and latency percentiles, cache
@@ -87,6 +115,8 @@
 #include "analysis/registry.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "net/poller.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svc/batch.hpp"
@@ -127,6 +157,8 @@ int usage() {
                "                    [--request-timeout-ms=N] "
                "[--cache-snapshot=PATH]\n"
                "                    [--metrics-out=PATH] [--trace-out=PATH]\n"
+               "                    [--listen=[HOST:]PORT] [--io-threads=N] "
+               "[--pin-cores]\n"
                "see the header of tools/reconf_serve.cpp for details\n");
   return 2;
 }
@@ -208,35 +240,6 @@ bool has_flag(const std::vector<std::string>& args, const std::string& name) {
   return false;
 }
 
-/// Best-effort id extraction from a line we will not (or cannot) fully
-/// parse — an oversized line's kept prefix, or a request shed before
-/// parsing. Only scans for a leading `"id":"..."` / `"id":123` member;
-/// anything else yields "" and the response goes out uncorrelated.
-std::string recover_id(const std::string& text) {
-  const std::size_t key = text.find("\"id\"");
-  if (key == std::string::npos) return {};
-  std::size_t i = key + 4;
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-  if (i >= text.size() || text[i] != ':') return {};
-  ++i;
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-  if (i >= text.size()) return {};
-  if (text[i] == '"') {
-    std::string id;
-    for (++i; i < text.size() && text[i] != '"'; ++i) {
-      if (text[i] == '\\') return {};  // escaped ids: not worth guessing
-      id.push_back(text[i]);
-    }
-    return i < text.size() ? id : std::string{};
-  }
-  std::string digits;
-  if (text[i] == '-') digits.push_back(text[i++]);
-  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
-    digits.push_back(text[i++]);
-  }
-  return digits == "-" ? std::string{} : digits;
-}
-
 /// One entry of the bounded ingest queue.
 struct QueueItem {
   enum class Kind {
@@ -303,7 +306,7 @@ void reader_loop(std::istream& in, IngestQueue& q, std::size_t max_queue,
     }
     if (status == svc::LineStatus::kOversized) {
       item.kind = QueueItem::Kind::kOversized;
-      item.payload = recover_id(text);
+      item.payload = svc::recover_request_id(text);
     } else {
       item.kind = QueueItem::Kind::kRequest;
       item.payload = std::move(text);
@@ -317,7 +320,7 @@ void reader_loop(std::istream& in, IngestQueue& q, std::size_t max_queue,
           // Overload shedding: the request text is dropped (bounded
           // memory); only the id survives for the {"shed":"queue"} answer.
           item.kind = QueueItem::Kind::kShed;
-          item.payload = recover_id(item.payload);
+          item.payload = svc::recover_request_id(item.payload);
         } else {
           // Back-pressure: stop reading until the pipeline catches up.
           q.popped.wait(lock, [&] {
@@ -338,6 +341,139 @@ void reader_loop(std::istream& in, IngestQueue& q, std::size_t max_queue,
   q.pushed.notify_all();
 }
 
+/// TCP serving mode: the async multi-core tier (src/net/server.hpp) behind
+/// the same flag surface and exit artifacts as the stdio pipeline.
+int run_listen_mode(const std::string& listen,
+                    const std::vector<std::string>& args,
+                    const svc::BatchOptions& options,
+                    long long cache_capacity, long long shards,
+                    long long io_threads, long long max_queue,
+                    long long timeout_ms, bool shed_on_overload,
+                    const std::string& metrics_out,
+                    const std::string& trace_out,
+                    const std::string& cache_snapshot) {
+  std::string host = "127.0.0.1";
+  std::string port_text = listen;
+  const std::size_t colon = listen.rfind(':');
+  if (colon != std::string::npos) {
+    host = listen.substr(0, colon);
+    port_text = listen.substr(colon + 1);
+  }
+  long long port = -1;
+  try {
+    std::size_t used = 0;
+    port = std::stoll(port_text, &used);
+    if (used != port_text.size()) port = -1;
+  } catch (const std::exception&) {
+  }
+  if (port < 0 || port > 65'535 || host.empty()) {
+    std::fprintf(stderr, "invalid --listen '%s' ([HOST:]PORT expected)\n",
+                 listen.c_str());
+    return 2;
+  }
+
+  net::ServerConfig config;
+  config.host = host;
+  config.port = static_cast<std::uint16_t>(port);
+  config.io_threads = static_cast<unsigned>(io_threads);
+  config.shards = static_cast<unsigned>(shards);
+  config.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  config.ring_capacity = static_cast<std::size_t>(max_queue);
+  config.shed_on_overload = shed_on_overload;
+  config.request_timeout_ms = timeout_ms;
+  config.pin_cores = has_flag(args, "pin-cores");
+  config.options = options;
+
+  net::AsyncServer server(config);
+  if (!cache_snapshot.empty() && cache_capacity > 0) {
+    std::ifstream probe(cache_snapshot);
+    if (probe.good()) {
+      probe.close();
+      std::size_t restored = 0;
+      std::string snap_error;
+      if (server.load_cache_snapshot(cache_snapshot, &restored,
+                                     &snap_error)) {
+        std::fprintf(stderr, "cache: warm-restored %zu entries from %s\n",
+                     restored, cache_snapshot.c_str());
+      } else {
+        std::fprintf(stderr, "cache: snapshot refused (%s); cold start\n",
+                     snap_error.c_str());
+      }
+    }  // missing file: cold start, snapshot written at exit
+  }
+
+  install_signal_handlers();
+  Stopwatch clock;
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "listening on %s:%u (%s, %zu shard workers, %lld io "
+               "threads)\n",
+               host.c_str(), static_cast<unsigned>(server.port()),
+               net::Poller().backend(), server.shard_cache_stats().size(),
+               io_threads);
+  const std::string port_file = flag_str(args, "port-file");
+  if (!port_file.empty()) {
+    // Scripts (the CI perf-smoke job) bind port 0 and read the real port
+    // from here instead of scraping stderr.
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+  }
+
+  while (g_stop == 0 && !server.stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.request_stop();
+  server.stop();
+
+  if (has_flag(args, "stats")) {
+    const double secs = clock.seconds();
+    const net::ServerTotals totals = server.totals();
+    const svc::CacheStats cs = server.cache_stats();
+    std::fprintf(stderr,
+                 "served %llu requests over %llu connections "
+                 "(%llu schedulable, %llu errors, %llu shed) in %.3fs — "
+                 "%.0f req/s\n",
+                 static_cast<unsigned long long>(totals.served),
+                 static_cast<unsigned long long>(totals.connections),
+                 static_cast<unsigned long long>(totals.accepted),
+                 static_cast<unsigned long long>(totals.errors),
+                 static_cast<unsigned long long>(totals.sheds), secs,
+                 secs > 0 ? static_cast<double>(totals.served) / secs : 0.0);
+    std::fprintf(stderr,
+                 "cache: capacity=%lld shards=%zu size=%zu hits=%llu "
+                 "misses=%llu evictions=%llu hit_rate=%.1f%%\n",
+                 cache_capacity, server.shard_cache_stats().size(),
+                 cs.entries, static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.evictions),
+                 100.0 * cs.hit_rate());
+  }
+  if (!cache_snapshot.empty() && cache_capacity > 0) {
+    std::string snap_error;
+    if (!server.save_cache_snapshot(cache_snapshot, &snap_error)) {
+      std::fprintf(stderr, "cache: snapshot not written (%s)\n",
+                   snap_error.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    svc::publish_shard_cache_stats(server.shard_cache_stats(),
+                                   static_cast<std::size_t>(cache_capacity));
+    write_text_file(metrics_out,
+                    obs::MetricsRegistry::instance().prometheus_text(),
+                    "metrics");
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().stop();
+    write_text_file(trace_out, obs::Tracer::instance().chrome_json(),
+                    "trace");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,7 +489,9 @@ int main(int argc, char** argv) {
                                     "--explain",         "--metrics-out=",
                                     "--trace-out=",      "--max-queue=",
                                     "--overload=",       "--request-timeout-ms=",
-                                    "--cache-snapshot="};
+                                    "--cache-snapshot=", "--listen=",
+                                    "--io-threads=",     "--pin-cores",
+                                    "--port-file="};
       bool ok = false;
       for (const char* k : known) {
         const std::string key = k;
@@ -371,13 +509,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string listen = flag_str(args, "listen");
   const long long batch_size = flag_int(args, "batch").value_or(256);
   const long long cache_capacity =
       has_flag(args, "no-cache") ? 0
                                  : flag_int(args, "cache-capacity")
                                        .value_or(65536);
-  const long long shards = flag_int(args, "shards").value_or(16);
+  // In stdio mode --shards is the striped cache's shard count; in TCP mode
+  // it is the shard worker count (0 = hardware concurrency).
+  const long long shards =
+      flag_int(args, "shards").value_or(listen.empty() ? 16 : 0);
   const long long threads = flag_int(args, "threads").value_or(0);
+  const long long io_threads = flag_int(args, "io-threads").value_or(1);
   const long long max_queue = flag_int(args, "max-queue").value_or(4096);
   const long long timeout_ms =
       flag_int(args, "request-timeout-ms").value_or(0);
@@ -390,25 +533,18 @@ int main(int argc, char** argv) {
   // Upper bounds keep absurd values from turning into an uncaught
   // length_error (batch reserve) or a thread-spawn storm.
   if (batch_size <= 0 || batch_size > 1'000'000 || cache_capacity < 0 ||
-      shards <= 0 || shards > 65'536 || threads < 0 || threads > 4'096 ||
-      max_queue <= 0 || max_queue > 10'000'000 || timeout_ms < 0) {
+      shards < 0 || shards > 65'536 || (listen.empty() && shards == 0) ||
+      threads < 0 || threads > 4'096 || io_threads <= 0 ||
+      io_threads > 256 || max_queue <= 0 || max_queue > 10'000'000 ||
+      timeout_ms < 0) {
+    return usage();
+  }
+  if (!listen.empty() && !input_path.empty()) {
+    std::fprintf(stderr, "--listen serves TCP; a request file is stdio-mode "
+                         "only\n");
     return usage();
   }
 
-  std::ifstream file;
-  if (!input_path.empty()) {
-    file.open(input_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
-      return 1;
-    }
-  }
-  std::istream& in = input_path.empty() ? std::cin : file;
-
-  svc::VerdictCache cache(static_cast<std::size_t>(cache_capacity),
-                          static_cast<std::size_t>(shards));
-  svc::VerdictCache* cache_ptr = cache.enabled() ? &cache : nullptr;
-  ThreadPool pool(static_cast<unsigned>(threads));
   svc::BatchOptions options;
   for (const std::string& a : args) {
     const std::string prefix = "--tests=";
@@ -440,6 +576,28 @@ int main(int argc, char** argv) {
   const std::string trace_out = flag_str(args, "trace-out");
   const std::string cache_snapshot = flag_str(args, "cache-snapshot");
   if (!trace_out.empty()) obs::Tracer::instance().start();
+
+  if (!listen.empty()) {
+    return run_listen_mode(listen, args, options, cache_capacity, shards,
+                           io_threads, max_queue, timeout_ms,
+                           overload == "shed", metrics_out, trace_out,
+                           cache_snapshot);
+  }
+
+  std::ifstream file;
+  if (!input_path.empty()) {
+    file.open(input_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = input_path.empty() ? std::cin : file;
+
+  svc::VerdictCache cache(static_cast<std::size_t>(cache_capacity),
+                          static_cast<std::size_t>(shards));
+  svc::VerdictCache* cache_ptr = cache.enabled() ? &cache : nullptr;
+  ThreadPool pool(static_cast<unsigned>(threads), has_flag(args, "pin-cores"));
   if (!cache_snapshot.empty() && cache.enabled()) {
     std::size_t restored = 0;
     std::string snap_error;
